@@ -1,0 +1,1 @@
+bin/resynth_cli.ml: Arg Circuits Cmd Cmdliner Core Filename List Netlist Printf Report Sim Sta String Techmap Term

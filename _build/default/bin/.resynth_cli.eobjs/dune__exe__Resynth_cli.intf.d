@@ -1,0 +1,1 @@
+bin/resynth_cli.mli:

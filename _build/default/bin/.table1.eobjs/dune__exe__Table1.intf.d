@@ -1,0 +1,1 @@
+bin/table1.mli:

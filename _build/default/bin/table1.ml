@@ -1,0 +1,9 @@
+(* Standalone Table I regeneration (also part of bench/main.exe). *)
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  let rows = Report.Table.run_suite () in
+  print_string (Report.Table.render rows);
+  print_newline ();
+  print_string (Report.Table.summary rows);
+  Printf.printf "regenerated in %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+examples/custom_library.ml: Circuits Core List Netlist Printf Sim Sta Synth_opt Techmap

@@ -1,0 +1,1 @@
+examples/fsm_resynthesis.ml: Circuits Core List Netlist Printf Report

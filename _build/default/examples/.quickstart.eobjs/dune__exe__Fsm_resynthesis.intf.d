@@ -1,0 +1,1 @@
+examples/fsm_resynthesis.mli:

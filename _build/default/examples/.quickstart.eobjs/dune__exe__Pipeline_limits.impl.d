@@ -1,0 +1,1 @@
+examples/pipeline_limits.ml: Circuits Core Netlist Printf Sta Techmap

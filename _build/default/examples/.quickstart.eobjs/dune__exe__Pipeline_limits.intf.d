@@ -1,0 +1,1 @@
+examples/pipeline_limits.mli:

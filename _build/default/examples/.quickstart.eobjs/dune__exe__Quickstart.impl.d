@@ -1,0 +1,1 @@
+examples/quickstart.ml: Circuits Core Format List Netlist Printf Retiming Sim Sta String

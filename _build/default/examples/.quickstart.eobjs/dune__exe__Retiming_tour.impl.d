@@ -1,0 +1,1 @@
+examples/retiming_tour.ml: Dontcare List Logic Netlist Printf Retiming Sim Sta String

@@ -1,0 +1,328 @@
+(* Hash-consed ROBDD package.  Nodes are stored in growable parallel arrays;
+   handles are integer indices.  Indices 0 and 1 are the terminals. *)
+
+type t = int
+
+let bfalse : t = 0
+let btrue : t = 1
+
+type man = {
+  mutable var_of : int array;   (* variable level of each node *)
+  mutable low_of : int array;
+  mutable high_of : int array;
+  mutable next_id : int;
+  unique : (int * int * int, int) Hashtbl.t;      (* (var, low, high) -> id *)
+  ite_cache : (int * int * int, int) Hashtbl.t;
+  exists_cache : (int, int) Hashtbl.t;            (* scoped per-call via clear *)
+  mutable exists_vars : int list;
+}
+
+let terminal_var = max_int
+
+let create ?(cache_size = 1 lsl 14) () =
+  let cap = 1024 in
+  let man =
+    { var_of = Array.make cap terminal_var;
+      low_of = Array.make cap (-1);
+      high_of = Array.make cap (-1);
+      next_id = 2;
+      unique = Hashtbl.create cache_size;
+      ite_cache = Hashtbl.create cache_size;
+      exists_cache = Hashtbl.create 256;
+      exists_vars = [] }
+  in
+  man
+
+let grow man =
+  let cap = Array.length man.var_of in
+  let resize a fill =
+    let b = Array.make (2 * cap) fill in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  man.var_of <- resize man.var_of terminal_var;
+  man.low_of <- resize man.low_of (-1);
+  man.high_of <- resize man.high_of (-1)
+
+let mk man v low high =
+  if low = high then low
+  else begin
+    let key = (v, low, high) in
+    match Hashtbl.find_opt man.unique key with
+    | Some id -> id
+    | None ->
+      if man.next_id >= Array.length man.var_of then grow man;
+      let id = man.next_id in
+      man.next_id <- id + 1;
+      man.var_of.(id) <- v;
+      man.low_of.(id) <- low;
+      man.high_of.(id) <- high;
+      Hashtbl.add man.unique key id;
+      id
+  end
+
+let var man i =
+  assert (i >= 0);
+  mk man i bfalse btrue
+
+let nvar man i = mk man i btrue bfalse
+
+let var_of man f = if f < 2 then terminal_var else man.var_of.(f)
+
+let is_true f = f = btrue
+let is_false f = f = bfalse
+let equal (a : t) (b : t) = a = b
+
+(* ITE with standard cofactor recursion and memoization. *)
+let rec ite man f g h =
+  if f = btrue then g
+  else if f = bfalse then h
+  else if g = h then g
+  else if g = btrue && h = bfalse then f
+  else begin
+    let key = (f, g, h) in
+    match Hashtbl.find_opt man.ite_cache key with
+    | Some r -> r
+    | None ->
+      let v =
+        min (var_of man f) (min (var_of man g) (var_of man h))
+      in
+      let cof x side =
+        if var_of man x = v then
+          if side then man.high_of.(x) else man.low_of.(x)
+        else x
+      in
+      let hi = ite man (cof f true) (cof g true) (cof h true) in
+      let lo = ite man (cof f false) (cof g false) (cof h false) in
+      let r = mk man v lo hi in
+      Hashtbl.add man.ite_cache key r;
+      r
+  end
+
+let bnot man f = ite man f bfalse btrue
+let band man f g = ite man f g bfalse
+let bor man f g = ite man f btrue g
+let bxor man f g = ite man f (bnot man g) g
+let bxnor man f g = ite man f g (bnot man g)
+let bimp man f g = ite man f g btrue
+
+let rec cofactor man f i value =
+  let v = var_of man f in
+  if v > i then f
+  else if v = i then (if value then man.high_of.(f) else man.low_of.(f))
+  else begin
+    let hi = cofactor man man.high_of.(f) i value in
+    let lo = cofactor man man.low_of.(f) i value in
+    mk man v lo hi
+  end
+
+(* Existential quantification over a variable set.  The cache is keyed on the
+   node only, so it is cleared whenever the variable set changes. *)
+let quantify man ~universal vars f =
+  let vars = List.sort_uniq compare vars in
+  if man.exists_vars <> (if universal then (-1) :: vars else vars) then begin
+    Hashtbl.clear man.exists_cache;
+    man.exists_vars <- (if universal then (-1) :: vars else vars)
+  end;
+  let in_set v = List.mem v vars in
+  let rec go f =
+    if f < 2 then f
+    else begin
+      let v = man.var_of.(f) in
+      if List.for_all (fun x -> x < v) vars then f
+      else
+        match Hashtbl.find_opt man.exists_cache f with
+        | Some r -> r
+        | None ->
+          let lo = go man.low_of.(f) and hi = go man.high_of.(f) in
+          let r =
+            if in_set v then
+              if universal then band man lo hi else bor man lo hi
+            else mk man v lo hi
+          in
+          Hashtbl.add man.exists_cache f r;
+          r
+    end
+  in
+  go f
+
+let exists man vars f = quantify man ~universal:false vars f
+let forall man vars f = quantify man ~universal:true vars f
+
+(* Relational product exists vars (a AND b) computed in one recursion; cached
+   in a local table per call. *)
+let and_exists man vars a b =
+  let vars = List.sort_uniq compare vars in
+  let in_set v = List.mem v vars in
+  let cache = Hashtbl.create 1024 in
+  let rec go a b =
+    if a = bfalse || b = bfalse then bfalse
+    else if a = btrue && b = btrue then btrue
+    else if a = btrue then exists man vars b
+    else if b = btrue then exists man vars a
+    else begin
+      let key = if a <= b then (a, b) else (b, a) in
+      match Hashtbl.find_opt cache key with
+      | Some r -> r
+      | None ->
+        let v = min (var_of man a) (var_of man b) in
+        let cof x side =
+          if var_of man x = v then
+            if side then man.high_of.(x) else man.low_of.(x)
+          else x
+        in
+        let lo = go (cof a false) (cof b false) in
+        let r =
+          if in_set v then
+            if lo = btrue then btrue
+            else bor man lo (go (cof a true) (cof b true))
+          else begin
+            let hi = go (cof a true) (cof b true) in
+            mk man v lo hi
+          end
+        in
+        Hashtbl.add cache key r;
+        r
+    end
+  in
+  go a b
+
+let compose man f i g =
+  (* Shannon: f[g/i] = ite(g, f_i, f_i') *)
+  let hi = cofactor man f i true and lo = cofactor man f i false in
+  ite man g hi lo
+
+let rename man f mapping =
+  let cache = Hashtbl.create 256 in
+  let rec go f =
+    if f < 2 then f
+    else
+      match Hashtbl.find_opt cache f with
+      | Some r -> r
+      | None ->
+        let v = man.var_of.(f) in
+        let lo = go man.low_of.(f) and hi = go man.high_of.(f) in
+        let v' = mapping v in
+        (* Monotonicity on the support keeps levels ordered; build via ite on
+           the renamed variable to stay safe even if levels collide. *)
+        let r = ite man (var man v') hi lo in
+        Hashtbl.add cache f r;
+        r
+  in
+  go f
+
+let support man f =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go f =
+    if f >= 2 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      Hashtbl.replace vars man.var_of.(f) ();
+      go man.low_of.(f);
+      go man.high_of.(f)
+    end
+  in
+  go f;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let size man f =
+  let seen = Hashtbl.create 64 in
+  let count = ref 0 in
+  let rec go f =
+    if f >= 2 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      incr count;
+      go man.low_of.(f);
+      go man.high_of.(f)
+    end
+  in
+  go f;
+  !count
+
+let sat_count man ~nvars f =
+  let cache = Hashtbl.create 256 in
+  let rec go f =
+    (* number of solutions over variables strictly below terminal, weighted
+       at the end for skipped levels *)
+    if f = bfalse then (0.0, nvars)
+    else if f = btrue then (1.0, nvars)
+    else
+      match Hashtbl.find_opt cache f with
+      | Some r -> r
+      | None ->
+        let v = man.var_of.(f) in
+        let lo, lov = go man.low_of.(f) in
+        let hi, hiv = go man.high_of.(f) in
+        let lo = lo *. (2.0 ** float_of_int (lov - v - 1)) in
+        let hi = hi *. (2.0 ** float_of_int (hiv - v - 1)) in
+        let r = (lo +. hi, v) in
+        Hashtbl.add cache f r;
+        r
+  in
+  let total, top = go f in
+  total *. (2.0 ** float_of_int top)
+
+let any_sat man f =
+  if f = bfalse then raise Not_found;
+  let rec go f acc =
+    if f = btrue then List.rev acc
+    else begin
+      let v = man.var_of.(f) in
+      if man.high_of.(f) <> bfalse then go man.high_of.(f) ((v, true) :: acc)
+      else go man.low_of.(f) ((v, false) :: acc)
+    end
+  in
+  go f []
+
+let eval man f assign =
+  let rec go f =
+    if f = btrue then true
+    else if f = bfalse then false
+    else if assign man.var_of.(f) then go man.high_of.(f)
+    else go man.low_of.(f)
+  in
+  go f
+
+let of_cover man cover =
+  let cube_bdd c =
+    let acc = ref btrue in
+    Array.iteri
+      (fun v l ->
+        match l with
+        | Logic.Cube.One -> acc := band man !acc (var man v)
+        | Logic.Cube.Zero -> acc := band man !acc (nvar man v)
+        | Logic.Cube.Both -> ())
+      c;
+    !acc
+  in
+  List.fold_left
+    (fun acc c -> bor man acc (cube_bdd c))
+    bfalse cover.Logic.Cover.cubes
+
+exception Cover_too_large
+
+let to_cover ?(max_cubes = max_int) man ~nvars f =
+  let cubes = ref [] in
+  let count = ref 0 in
+  let rec go f prefix =
+    if f = btrue then begin
+      incr count;
+      if !count > max_cubes then raise Cover_too_large;
+      cubes := prefix :: !cubes
+    end
+    else if f <> bfalse then begin
+      let v = man.var_of.(f) in
+      assert (v < nvars);
+      go man.high_of.(f) ((v, Logic.Cube.One) :: prefix);
+      go man.low_of.(f) ((v, Logic.Cube.Zero) :: prefix)
+    end
+  in
+  go f [];
+  let cube_of assignments =
+    let c = Logic.Cube.universe nvars in
+    List.iter (fun (v, l) -> c.(v) <- l) assignments;
+    c
+  in
+  Logic.Cover.make nvars (List.map cube_of !cubes)
+
+let node_count man = man.next_id

@@ -1,0 +1,77 @@
+(** Reduced ordered binary decision diagrams with hash-consing.
+
+    A {!man} owns the unique table and operation caches; {!t} values are node
+    handles valid only within their manager.  The variable order is the
+    natural integer order on variable indices. *)
+
+type man
+
+type t = private int
+(** Node handle; structural equality of functions is handle equality. *)
+
+val create : ?cache_size:int -> unit -> man
+
+val bfalse : t
+val btrue : t
+
+val var : man -> int -> t
+(** BDD of the single positive variable [i] ([i >= 0]). *)
+
+val nvar : man -> int -> t
+
+val bnot : man -> t -> t
+val band : man -> t -> t -> t
+val bor : man -> t -> t -> t
+val bxor : man -> t -> t -> t
+val bxnor : man -> t -> t -> t
+val bimp : man -> t -> t -> t
+val ite : man -> t -> t -> t -> t
+
+val equal : t -> t -> bool
+val is_true : t -> bool
+val is_false : t -> bool
+
+val cofactor : man -> t -> int -> bool -> t
+(** Cofactor with respect to variable [i]. *)
+
+val exists : man -> int list -> t -> t
+(** Existential quantification over a set of variables. *)
+
+val forall : man -> int list -> t -> t
+
+val and_exists : man -> int list -> t -> t -> t
+(** Relational product: [exists vars (a AND b)], computed without building the
+    full conjunction. *)
+
+val compose : man -> t -> int -> t -> t
+(** [compose m f i g] substitutes [g] for variable [i] in [f]. *)
+
+val rename : man -> t -> (int -> int) -> t
+(** Variable renaming; the mapping must be strictly monotone on the support
+    for correctness (checked by assertion on adjacent levels). *)
+
+val support : man -> t -> int list
+(** Variables the function depends on, ascending. *)
+
+val size : man -> t -> int
+(** Number of distinct internal nodes reachable from the handle. *)
+
+val sat_count : man -> nvars:int -> t -> float
+(** Number of satisfying assignments over [nvars] variables. *)
+
+val any_sat : man -> t -> (int * bool) list
+(** Some satisfying partial assignment; raises [Not_found] on [bfalse]. *)
+
+val eval : man -> t -> (int -> bool) -> bool
+
+val of_cover : man -> Logic.Cover.t -> t
+
+exception Cover_too_large
+
+val to_cover : ?max_cubes:int -> man -> nvars:int -> t -> Logic.Cover.t
+(** One cube per 1-path of the diagram (a disjoint cover).  Every variable in
+    the support must be below [nvars].  Raises {!Cover_too_large} when the
+    path count exceeds [max_cubes]. *)
+
+val node_count : man -> int
+(** Total allocated nodes (diagnostics). *)

@@ -1,0 +1,1 @@
+lib/circuits/fsm.ml: Array Fun List Logic Netlist Printf Random

@@ -1,0 +1,1 @@
+lib/circuits/fsm.mli: Logic Netlist

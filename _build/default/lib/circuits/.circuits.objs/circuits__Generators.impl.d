@@ -1,0 +1,1 @@
+lib/circuits/generators.ml: Array Fun List Logic Netlist Printf Random

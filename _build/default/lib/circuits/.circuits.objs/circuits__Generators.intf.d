@@ -1,0 +1,1 @@
+lib/circuits/generators.mli: Netlist

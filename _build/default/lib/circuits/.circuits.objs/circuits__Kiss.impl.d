@@ -1,0 +1,1 @@
+lib/circuits/kiss.ml: Array Buffer Fsm List Logic Printf String

@@ -1,0 +1,1 @@
+lib/circuits/kiss.mli: Fsm Logic Netlist

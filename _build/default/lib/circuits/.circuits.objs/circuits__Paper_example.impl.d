@@ -1,0 +1,1 @@
+lib/circuits/paper_example.ml: Logic Netlist

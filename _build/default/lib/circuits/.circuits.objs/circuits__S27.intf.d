@@ -1,0 +1,1 @@
+lib/circuits/s27.mli: Netlist

@@ -1,0 +1,1 @@
+lib/circuits/suite.ml: Fsm Generators List Netlist S27

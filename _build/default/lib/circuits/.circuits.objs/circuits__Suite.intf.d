@@ -1,0 +1,1 @@
+lib/circuits/suite.mli: Netlist

@@ -1,0 +1,120 @@
+module N = Netlist.Network
+
+type transition = {
+  from_state : int;
+  input_cube : Logic.Cube.t;
+  to_state : int;
+  outputs : bool array;
+}
+
+type t = {
+  name : string;
+  nstates : int;
+  ninputs : int;
+  noutputs : int;
+  transitions : transition list;
+}
+
+(* A random shallow decision tree over the inputs yields a deterministic,
+   complete partition of the input space into cubes. *)
+let random ?(max_depth = 2) ~seed ~name ~nstates ~ninputs ~noutputs () =
+  let rng = Random.State.make [| seed |] in
+  let transitions = ref [] in
+  let leaf state cube =
+    let to_state = Random.State.int rng nstates in
+    let outputs = Array.init noutputs (fun _ -> Random.State.bool rng) in
+    transitions :=
+      { from_state = state; input_cube = cube; to_state; outputs }
+      :: !transitions
+  in
+  let max_depth = min max_depth ninputs in
+  let rec grow state cube depth available =
+    let should_split =
+      depth < max_depth && available <> [] && Random.State.int rng 100 < 60
+    in
+    if not should_split then leaf state cube
+    else begin
+      let v = List.nth available (Random.State.int rng (List.length available)) in
+      let rest = List.filter (fun x -> x <> v) available in
+      grow state (Logic.Cube.set_var cube v Logic.Cube.Zero) (depth + 1) rest;
+      grow state (Logic.Cube.set_var cube v Logic.Cube.One) (depth + 1) rest
+    end
+  in
+  for state = 0 to nstates - 1 do
+    grow state (Logic.Cube.universe ninputs) 0 (List.init ninputs Fun.id)
+  done;
+  { name; nstates; ninputs; noutputs; transitions = List.rev !transitions }
+
+let check_complete m =
+  let points = 1 lsl m.ninputs in
+  let ok = ref true in
+  for state = 0 to m.nstates - 1 do
+    for bits = 0 to points - 1 do
+      let point = Array.init m.ninputs (fun v -> bits land (1 lsl v) <> 0) in
+      let matching =
+        List.filter
+          (fun t -> t.from_state = state && Logic.Cube.eval t.input_cube point)
+          m.transitions
+      in
+      if List.length matching <> 1 then ok := false
+    done
+  done;
+  !ok
+
+let state_bits m =
+  let rec bits n acc = if n <= 1 then max acc 1 else bits ((n + 1) / 2) (acc + 1) in
+  bits m.nstates 0
+
+let to_network m =
+  let nbits = state_bits m in
+  let net = N.create ~name:m.name () in
+  let inputs =
+    List.init m.ninputs (fun i -> N.add_input net (Printf.sprintf "in%d" i))
+  in
+  (* latches initialized to state 0 = all zeros; placeholder data rewired *)
+  let placeholder = match inputs with x :: _ -> x | [] -> N.add_const net false in
+  let state_latches =
+    List.init nbits (fun j ->
+        N.add_latch net ~name:(Printf.sprintf "st%d" j) N.I0 placeholder)
+  in
+  (* variable order for transition products: state bits then inputs *)
+  let nvars = nbits + m.ninputs in
+  let product t =
+    let cube = Logic.Cube.universe nvars in
+    for j = 0 to nbits - 1 do
+      cube.(j) <-
+        (if t.from_state land (1 lsl j) <> 0 then Logic.Cube.One
+         else Logic.Cube.Zero)
+    done;
+    Array.iteri
+      (fun v l -> if l <> Logic.Cube.Both then cube.(nbits + v) <- l)
+      t.input_cube;
+    cube
+  in
+  let fanins = state_latches @ inputs in
+  let cover_of_pred pred =
+    let cubes =
+      List.filter_map
+        (fun t -> if pred t then Some (product t) else None)
+        m.transitions
+    in
+    Logic.Cover.single_cube_containment (Logic.Cover.make nvars cubes)
+  in
+  (* next-state logic *)
+  List.iteri
+    (fun j latch ->
+      let cover = cover_of_pred (fun t -> t.to_state land (1 lsl j) <> 0) in
+      let node =
+        N.add_logic net ~name:(Printf.sprintf "ns%d" j) cover fanins
+      in
+      N.replace_fanin net latch ~old_fanin:placeholder ~new_fanin:node)
+    state_latches;
+  (* outputs *)
+  for o = 0 to m.noutputs - 1 do
+    let cover = cover_of_pred (fun t -> t.outputs.(o)) in
+    let node = N.add_logic net ~name:(Printf.sprintf "of%d" o) cover fanins in
+    N.set_output net (Printf.sprintf "out%d" o) node
+  done;
+  N.sweep net;
+  N.check net;
+  net

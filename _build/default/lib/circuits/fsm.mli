@@ -1,0 +1,41 @@
+(** Finite-state-machine benchmarks.
+
+    The MCNC FSM benchmarks (bbtas, bbara, planet, ex2, ex6...) are state
+    transition tables.  We cannot redistribute the originals, so this module
+    generates deterministic, completely-specified Mealy machines of matching
+    size class and synthesizes them into networks with binary state encoding
+    — real FSM circuits with feedback and multi-fanout state registers, the
+    structure the paper's technique feeds on (see DESIGN.md). *)
+
+type transition = {
+  from_state : int;
+  input_cube : Logic.Cube.t;   (** over the machine's inputs *)
+  to_state : int;
+  outputs : bool array;
+}
+
+type t = {
+  name : string;
+  nstates : int;
+  ninputs : int;
+  noutputs : int;
+  transitions : transition list;
+}
+
+val random :
+  ?max_depth:int ->
+  seed:int -> name:string -> nstates:int -> ninputs:int -> noutputs:int ->
+  unit -> t
+(** Deterministic and complete: for every state the input cubes partition
+    the input space (generated as a random decision tree of depth at most
+    [max_depth], default 2 — real MCNC controllers branch on one or two
+    inputs per state). *)
+
+val check_complete : t -> bool
+(** Every (state, input point) is matched by exactly one transition. *)
+
+val state_bits : t -> int
+
+val to_network : t -> Netlist.Network.t
+(** Binary state encoding; latches initialized to state 0's code; one SOP
+    node per next-state bit and per output. *)

@@ -1,0 +1,118 @@
+module N = Netlist.Network
+
+type profile = {
+  npi : int;
+  npo : int;
+  nlatch : int;
+  ngates : int;
+  max_fanin : int;
+  feedback : bool;
+  stem_bias : float;
+}
+
+let default_profile =
+  { npi = 4;
+    npo = 2;
+    nlatch = 3;
+    ngates = 12;
+    max_fanin = 3;
+    feedback = true;
+    stem_bias = 0.5 }
+
+(* Random non-constant cover over [k] fanins: 1-3 random cubes, each with at
+   least one literal; reject covers that are constant. *)
+let rec random_cover rng k =
+  let ncubes = 1 + Random.State.int rng 3 in
+  let cube () =
+    let c = Logic.Cube.universe k in
+    let nlits = 1 + Random.State.int rng k in
+    for _ = 1 to nlits do
+      let v = Random.State.int rng k in
+      c.(v) <-
+        (if Random.State.bool rng then Logic.Cube.One else Logic.Cube.Zero)
+    done;
+    c
+  in
+  let cover = Logic.Cover.make k (List.init ncubes (fun _ -> cube ())) in
+  if Logic.Cover.is_tautology cover || Logic.Cover.is_empty cover then
+    random_cover rng k
+  else cover
+
+let pick rng items =
+  let arr = Array.of_list items in
+  arr.(Random.State.int rng (Array.length arr))
+
+let random_sequential ~seed profile =
+  let rng = Random.State.make [| seed |] in
+  let net = N.create ~name:(Printf.sprintf "rand%d" seed) () in
+  let pis =
+    List.init profile.npi (fun i ->
+        N.add_input net (Printf.sprintf "in%d" i))
+  in
+  (* Latches first, with placeholder data (a PI), rewired after gates exist;
+     this permits FSM-style feedback. *)
+  let placeholder = List.nth pis 0 in
+  let latches =
+    List.init profile.nlatch (fun i ->
+        N.add_latch net
+          ~name:(Printf.sprintf "r%d" i)
+          (if Random.State.bool rng then N.I1 else N.I0)
+          placeholder)
+  in
+  (* Gates in layers: each gate draws fanins from earlier gates, PIs and
+     latch outputs.  stem_bias resamples a fanin to be a latch output, giving
+     latches multiple fanouts. *)
+  let gates = ref [] in
+  for i = 0 to profile.ngates - 1 do
+    let sources = pis @ latches @ !gates in
+    let k = 2 + Random.State.int rng (max 1 (profile.max_fanin - 1)) in
+    let fanin () =
+      if latches <> [] && Random.State.float rng 1.0 < profile.stem_bias then
+        pick rng latches
+      else pick rng sources
+    in
+    (* distinct fanins *)
+    let rec distinct acc n =
+      if n = 0 then acc
+      else begin
+        let f = fanin () in
+        if List.memq f acc then distinct acc n
+        else distinct (f :: acc) (n - 1)
+      end
+    in
+    let fanins = distinct [] (min k (List.length sources)) in
+    let k = List.length fanins in
+    let cover = random_cover rng k in
+    let g = N.add_logic net ~name:(Printf.sprintf "g%d" i) cover fanins in
+    gates := g :: !gates
+  done;
+  let all_gates = !gates in
+  (* Rewire latch data. *)
+  List.iter
+    (fun l ->
+      let candidates =
+        if profile.feedback then all_gates @ pis else pis @ all_gates
+      in
+      let data =
+        if profile.feedback && all_gates <> [] then pick rng all_gates
+        else pick rng candidates
+      in
+      N.replace_fanin net l ~old_fanin:(N.latch_data net l) ~new_fanin:data)
+    latches;
+  (* Outputs from distinct gates when possible. *)
+  let out_sources = if all_gates <> [] then all_gates else pis in
+  List.iteri
+    (fun i _ ->
+      N.set_output net (Printf.sprintf "out%d" i) (pick rng out_sources))
+    (List.init profile.npo Fun.id);
+  (* Some generated gates may be dangling; keep the network tidy but do not
+     sweep away latches (they self-justify as state). *)
+  N.check net;
+  net
+
+let random_combinational ~seed ~npi ~npo ~ngates =
+  let profile =
+    { npi; npo; nlatch = 0; ngates; max_fanin = 3; feedback = false;
+      stem_bias = 0.0 }
+  in
+  random_sequential ~seed profile

@@ -1,0 +1,41 @@
+module N = Netlist.Network
+
+let not_c = Logic.Cover.of_strings 1 [ "0" ]
+let and_c = Logic.Cover.of_strings 2 [ "11" ]
+let or_c = Logic.Cover.of_strings 2 [ "1-"; "-1" ]
+let nand_c = Logic.Cover.of_strings 2 [ "0-"; "-0" ]
+let nor_c = Logic.Cover.of_strings 2 [ "00" ]
+
+(* ISCAS'89 s27:
+     G5 = DFF(G10)   G6 = DFF(G11)   G7 = DFF(G13)
+     G14 = NOT(G0)       G17 = NOT(G11)
+     G8  = AND(G14, G6)  G15 = OR(G12, G8)   G16 = OR(G3, G8)
+     G9  = NAND(G16, G15)
+     G10 = NOR(G14, G11) G11 = NOR(G5, G9)
+     G12 = NOR(G1, G7)   G13 = NAND(G2, G12)
+   All flip-flops initialize to 0. *)
+let circuit () =
+  let net = N.create ~name:"s27" () in
+  let g0 = N.add_input net "G0" in
+  let g1 = N.add_input net "G1" in
+  let g2 = N.add_input net "G2" in
+  let g3 = N.add_input net "G3" in
+  let g5 = N.add_latch net ~name:"G5" N.I0 g0 in
+  let g6 = N.add_latch net ~name:"G6" N.I0 g0 in
+  let g7 = N.add_latch net ~name:"G7" N.I0 g0 in
+  let g14 = N.add_logic net ~name:"G14" not_c [ g0 ] in
+  let g12 = N.add_logic net ~name:"G12" nor_c [ g1; g7 ] in
+  let g8 = N.add_logic net ~name:"G8" and_c [ g14; g6 ] in
+  let g15 = N.add_logic net ~name:"G15" or_c [ g12; g8 ] in
+  let g16 = N.add_logic net ~name:"G16" or_c [ g3; g8 ] in
+  let g9 = N.add_logic net ~name:"G9" nand_c [ g16; g15 ] in
+  let g11 = N.add_logic net ~name:"G11" nor_c [ g5; g9 ] in
+  let g10 = N.add_logic net ~name:"G10" nor_c [ g14; g11 ] in
+  let g13 = N.add_logic net ~name:"G13" nand_c [ g2; g12 ] in
+  let g17 = N.add_logic net ~name:"G17" not_c [ g11 ] in
+  N.replace_fanin net g5 ~old_fanin:g0 ~new_fanin:g10;
+  N.replace_fanin net g6 ~old_fanin:g0 ~new_fanin:g11;
+  N.replace_fanin net g7 ~old_fanin:g0 ~new_fanin:g13;
+  N.set_output net "G17" g17;
+  N.check net;
+  net

@@ -1,0 +1,5 @@
+(** The ISCAS'89 benchmark s27, hardcoded from its published netlist
+    (4 inputs, 1 output, 3 flip-flops, 10 gates + 2 inverters).
+    The one benchmark small and public enough to reproduce verbatim. *)
+
+val circuit : unit -> Netlist.Network.t

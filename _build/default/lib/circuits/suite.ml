@@ -1,0 +1,130 @@
+type expectation =
+  | Normal
+  | Retiming_fails
+  | Resynthesis_na
+  | Resynthesis_hurts
+
+type entry = {
+  name : string;
+  build : unit -> Netlist.Network.t;
+  expectation : expectation;
+  comment : string;
+}
+
+let fsm ?max_depth ~seed ~nstates ~ninputs ~noutputs name () =
+  Fsm.to_network (Fsm.random ?max_depth ~seed ~name ~nstates ~ninputs ~noutputs ())
+
+let gen ~seed ~npi ~npo ~nlatch ~ngates ?(stem_bias = 0.5) ?(feedback = true)
+    name () =
+  let profile =
+    { Generators.npi; npo; nlatch; ngates; max_fanin = 3; feedback; stem_bias }
+  in
+  let net = Generators.random_sequential ~seed profile in
+  Netlist.Network.set_name_of_model net name;
+  Netlist.Network.sweep net;
+  net
+
+(* Size classes follow the published benchmark statistics (PI/PO/FF counts);
+   gate counts are pre-optimization and approximate. *)
+let entries =
+  [ { name = "ex2";
+      build = fsm ~seed:102 ~nstates:19 ~ninputs:2 ~noutputs:2 "ex2";
+      expectation = Normal;
+      comment = "MCNC FSM, 19 states" };
+    { name = "ex6";
+      build = fsm ~seed:106 ~nstates:8 ~ninputs:5 ~noutputs:8 "ex6";
+      expectation = Retiming_fails;
+      comment = "MCNC FSM, 8 states; paper: retiming unable to improve" };
+    { name = "bbtas";
+      build = fsm ~seed:110 ~nstates:6 ~ninputs:2 ~noutputs:2 "bbtas";
+      expectation = Retiming_fails;
+      comment = "MCNC FSM, 6 states; paper: retiming unable to improve" };
+    { name = "bbara";
+      build = fsm ~seed:114 ~nstates:10 ~ninputs:4 ~noutputs:2 "bbara";
+      expectation = Normal;
+      comment = "MCNC FSM, 10 states" };
+    { name = "planet";
+      build = fsm ~max_depth:1 ~seed:118 ~nstates:48 ~ninputs:7 ~noutputs:19 "planet";
+      expectation = Normal;
+      comment = "MCNC FSM, 48 states" };
+    { name = "s27";
+      build = S27.circuit;
+      expectation = Normal;
+      comment = "ISCAS'89, published netlist (verbatim)" };
+    { name = "s208";
+      build = gen ~seed:208 ~npi:10 ~npo:1 ~nlatch:8 ~ngates:60 "s208";
+      expectation = Normal;
+      comment = "ISCAS'89 size class: 10 PI / 1 PO / 8 FF" };
+    { name = "s298";
+      build = gen ~seed:298 ~npi:3 ~npo:6 ~nlatch:14 ~ngates:80 "s298";
+      expectation = Normal;
+      comment = "ISCAS'89 size class: 3/6/14" };
+    { name = "s344";
+      build = gen ~seed:344 ~npi:9 ~npo:11 ~nlatch:15 ~ngates:100 "s344";
+      expectation = Retiming_fails;
+      comment = "paper: retiming unable to preserve initial states" };
+    { name = "s349";
+      build = gen ~seed:349 ~npi:9 ~npo:11 ~nlatch:15 ~ngates:100 "s349";
+      expectation = Normal;
+      comment = "ISCAS'89 size class: 9/11/15" };
+    { name = "s382";
+      build = gen ~seed:382 ~npi:3 ~npo:6 ~nlatch:21 ~ngates:100 "s382";
+      expectation = Retiming_fails;
+      comment = "paper: retiming unable to improve" };
+    { name = "s386";
+      build = gen ~seed:386 ~npi:7 ~npo:7 ~nlatch:6 ~ngates:100 "s386";
+      expectation = Retiming_fails;
+      comment = "paper: retiming unable to improve" };
+    { name = "s400";
+      build = gen ~seed:400 ~npi:3 ~npo:6 ~nlatch:21 ~ngates:105 "s400";
+      expectation = Retiming_fails;
+      comment = "paper: retiming unable to improve" };
+    { name = "s420";
+      build = gen ~seed:420 ~npi:18 ~npo:1 ~nlatch:16 ~ngates:120 "s420";
+      expectation = Resynthesis_hurts;
+      comment = "paper: DC_ret gave no simplification; delay regressed" };
+    { name = "s444";
+      build = gen ~seed:444 ~npi:3 ~npo:6 ~nlatch:21 ~ngates:115 "s444";
+      expectation = Normal;
+      comment = "ISCAS'89 size class: 3/6/21" };
+    { name = "s510";
+      build = gen ~seed:510 ~npi:19 ~npo:7 ~nlatch:6 ~ngates:130 "s510";
+      expectation = Resynthesis_hurts;
+      comment = "paper: DC_ret gave no simplification; delay regressed" };
+    { name = "s526";
+      build = gen ~seed:526 ~npi:3 ~npo:6 ~nlatch:21 ~ngates:120 "s526";
+      expectation = Normal;
+      comment = "ISCAS'89 size class: 3/6/21" };
+    { name = "s641";
+      build =
+        gen ~seed:641 ~npi:15 ~npo:12 ~nlatch:19 ~ngates:200 ~stem_bias:0.0
+          "s641";
+      expectation = Resynthesis_na;
+      comment = "paper: no multiple-fanout registers feed the critical path" };
+    { name = "s1196";
+      build =
+        gen ~seed:1196 ~npi:14 ~npo:14 ~nlatch:18 ~ngates:280 ~stem_bias:0.0
+          "s1196";
+      expectation = Retiming_fails;
+      comment = "paper: retiming unable to improve" };
+    { name = "s1238";
+      build =
+        gen ~seed:1238 ~npi:14 ~npo:14 ~nlatch:18 ~ngates:300 ~stem_bias:0.0
+          "s1238";
+      expectation = Resynthesis_na;
+      comment = "paper: no multiple-fanout registers feed the critical path" };
+    { name = "s5378";
+      build =
+        gen ~seed:5378 ~npi:35 ~npo:45 ~nlatch:150 ~ngates:1600
+          ~stem_bias:0.15 "s5378";
+      expectation = Resynthesis_na;
+      comment =
+        "paper: listed among both the retiming failures and the circuits \
+         the technique could not help; implicit state enumeration is \
+         prohibitive at this size (the BDD effort cap falls back to random \
+         co-simulation)" } ]
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) entries with
+  | Some e -> e
+  | None -> invalid_arg ("Suite.find: unknown benchmark " ^ name)

@@ -1,0 +1,27 @@
+(** The Table I benchmark suite.
+
+    One entry per row of the paper's Table I.  s27 is the published netlist;
+    the FSM rows are generated machines of matching size class; the other
+    ISCAS'89 rows are generated sequential netlists of matching size class
+    (see DESIGN.md for the substitution rationale).  [expectation] records
+    what the paper's text says happened on that row, for the experiment
+    report. *)
+
+type expectation =
+  | Normal           (** both transformations apply *)
+  | Retiming_fails   (** SIS retiming could not improve or lost init states *)
+  | Resynthesis_na   (** no multi-fanout registers on the critical path *)
+  | Resynthesis_hurts  (** DC_ret gave no simplification; guard territory *)
+
+type entry = {
+  name : string;
+  build : unit -> Netlist.Network.t;
+  expectation : expectation;
+  comment : string;
+}
+
+val entries : entry list
+(** The 21 rows, in the paper's order (the table rows plus s1196 and
+    s5378, which the paper's text discusses). *)
+
+val find : string -> entry

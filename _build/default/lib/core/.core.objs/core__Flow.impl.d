@@ -1,0 +1,1 @@
+lib/core/flow.ml: Dontcare Netlist Resynth Retiming Sim Sta Synth_opt Techmap

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Netlist Resynth Techmap

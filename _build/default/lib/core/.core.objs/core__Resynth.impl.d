@@ -1,0 +1,1 @@
+lib/core/resynth.ml: Array Dontcare Fun Hashtbl List Logic Netlist Printf Retiming Sta Techmap

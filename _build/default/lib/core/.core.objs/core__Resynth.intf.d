@@ -1,0 +1,1 @@
+lib/core/resynth.mli: Netlist Sta Techmap

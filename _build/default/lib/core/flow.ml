@@ -1,0 +1,79 @@
+module N = Netlist.Network
+
+type stats = {
+  regs : int;
+  clk : float;
+  area : float;
+}
+
+type attempt = {
+  stats : stats option;
+  note : string;
+  verified : bool;
+}
+
+type row = {
+  circuit : string;
+  base : stats;
+  retimed : attempt;
+  resynthesized : attempt;
+  resynth_outcome : Resynth.outcome option;
+}
+
+let measure net ~lib =
+  { regs = N.num_latches net;
+    clk = Sta.clock_period net (Sta.mapped_delay ~default:1.0 ());
+    area = Techmap.Mapper.mapped_area net ~lib }
+
+let script_delay_flow net ~lib = Synth_opt.Script.script_delay net ~lib
+
+(* Baseline B: min-delay retiming, then external don't-cares from implicit
+   state enumeration, per-node simplification, and a min-delay remap. *)
+let retiming_flow net ~lib =
+  let model = Sta.mapped_delay ~default:1.0 () in
+  match Retiming.Minperiod.retime_min_period net ~model with
+  | Error failure -> Error (Retiming.Minperiod.failure_message failure)
+  | Ok (retimed, _) ->
+    ignore (Dontcare.Reach.simplify_with_unreachable retimed);
+    ignore (Synth_opt.Script.simplify_nodes retimed);
+    N.sweep retimed;
+    let remapped =
+      Techmap.Mapper.map retimed ~lib ~objective:Techmap.Mapper.Min_delay
+    in
+    Ok remapped
+
+let resynthesis_flow ?(options = Resynth.default_options) net =
+  let outcome = Resynth.resynthesize ~options net in
+  if outcome.Resynth.applied then Ok (outcome.Resynth.network, outcome)
+  else Error outcome.Resynth.note
+
+let run_all ?(verify = true) ?(lib = Techmap.Genlib.mcnc_lite)
+    ?(resynth_options = Resynth.default_options) ~name net =
+  let mapped = script_delay_flow net ~lib in
+  N.set_name_of_model mapped name;
+  let base = measure mapped ~lib in
+  let check result =
+    if not verify then true
+    else
+      try Sim.Equiv.seq_equal mapped result
+      with Failure _ -> Sim.Equiv.seq_equal_random ~seed:7 mapped result
+  in
+  let retimed =
+    match retiming_flow mapped ~lib with
+    | Ok net' ->
+      { stats = Some (measure net' ~lib); note = ""; verified = check net' }
+    | Error msg -> { stats = None; note = msg; verified = true }
+  in
+  let resynth_outcome = ref None in
+  let resynthesized =
+    match resynthesis_flow ~options:resynth_options mapped with
+    | Ok (net', outcome) ->
+      resynth_outcome := Some outcome;
+      { stats = Some (measure net' ~lib); note = ""; verified = check net' }
+    | Error msg -> { stats = None; note = msg; verified = true }
+  in
+  { circuit = name;
+    base;
+    retimed;
+    resynthesized;
+    resynth_outcome = !resynth_outcome }

@@ -1,0 +1,51 @@
+(** The three evaluation flows of the paper's Table I.
+
+    Starting from an RTL-like network:
+    - {!script_delay_flow} — performance optimization + min-delay mapping;
+    - {!retiming_flow} — the above, then SIS-style min-delay retiming,
+      implicit-state-enumeration external don't-cares, resimplification and
+      remapping ("conventional retiming and resynthesis");
+    - {!resynthesis_flow} — the above baseline plus the paper's technique.
+
+    Every flow reports registers / clock period / mapped area and whether the
+    result was verified sequentially equivalent to the flow input. *)
+
+type stats = {
+  regs : int;
+  clk : float;
+  area : float;
+}
+
+type attempt = {
+  stats : stats option;  (** [None]: the flow could not transform the input *)
+  note : string;         (** failure reason or remarks *)
+  verified : bool;       (** sequential equivalence against the flow input *)
+}
+
+type row = {
+  circuit : string;
+  base : stats;                    (** script.delay *)
+  retimed : attempt;               (** + retiming + comb. opt. *)
+  resynthesized : attempt;         (** + resynthesis (the paper) *)
+  resynth_outcome : Resynth.outcome option;
+}
+
+val measure : Netlist.Network.t -> lib:Techmap.Genlib.t -> stats
+
+val script_delay_flow :
+  Netlist.Network.t -> lib:Techmap.Genlib.t -> Netlist.Network.t
+
+val retiming_flow :
+  Netlist.Network.t -> lib:Techmap.Genlib.t ->
+  (Netlist.Network.t, string) result
+(** Input must already be mapped (the output of {!script_delay_flow}). *)
+
+val resynthesis_flow :
+  ?options:Resynth.options -> Netlist.Network.t ->
+  (Netlist.Network.t * Resynth.outcome, string) result
+(** Input must already be mapped. *)
+
+val run_all :
+  ?verify:bool -> ?lib:Techmap.Genlib.t -> ?resynth_options:Resynth.options ->
+  name:string -> Netlist.Network.t -> row
+(** Run the three flows on one circuit and collect a Table I row. *)

@@ -1,0 +1,1 @@
+lib/dontcare/classes.ml: Array Hashtbl List Logic Netlist

@@ -1,0 +1,1 @@
+lib/dontcare/classes.mli: Logic Netlist

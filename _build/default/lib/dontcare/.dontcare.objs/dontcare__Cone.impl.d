@@ -1,0 +1,1 @@
+lib/dontcare/cone.ml: Array Bdd Hashtbl List Logic Netlist

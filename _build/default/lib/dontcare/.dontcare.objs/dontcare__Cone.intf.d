@@ -1,0 +1,1 @@
+lib/dontcare/cone.mli: Logic Netlist

@@ -1,0 +1,1 @@
+lib/dontcare/reach.ml: Array Bdd Cone Fun Hashtbl List Logic Netlist Printf

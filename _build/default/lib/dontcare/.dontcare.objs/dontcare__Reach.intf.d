@@ -1,0 +1,1 @@
+lib/dontcare/reach.mli: Logic Netlist

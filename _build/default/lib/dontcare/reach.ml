@@ -1,0 +1,181 @@
+module N = Netlist.Network
+
+exception Too_large of string
+
+type result = {
+  latch_order : N.node list;
+  reachable : Logic.Cover.t;
+  unreachable : Logic.Cover.t;
+  num_reachable : float;
+}
+
+(* Variable layout: primary inputs first, then present-state variables, then
+   next-state variables. *)
+let unreachable_states ?(max_latches = 24) ?(max_bdd_nodes = 2_000_000) net =
+  let latches = N.latches net in
+  let nlatch = List.length latches in
+  if nlatch = 0 then
+    raise (Too_large "no latches: no state space to enumerate");
+  if nlatch > max_latches then
+    raise (Too_large (Printf.sprintf "%d latches" nlatch));
+  let pis = N.inputs net in
+  let npi = List.length pis in
+  let man = Bdd.create () in
+  let ps_var = Hashtbl.create 16 in
+  List.iteri (fun j l -> Hashtbl.add ps_var l.N.id (npi + j)) latches;
+  let pi_var = Hashtbl.create 16 in
+  List.iteri (fun i p -> Hashtbl.add pi_var p.N.id i) pis;
+  (* combinational node values *)
+  let values = Hashtbl.create 256 in
+  List.iter
+    (fun p -> Hashtbl.add values p.N.id (Bdd.var man (Hashtbl.find pi_var p.N.id)))
+    pis;
+  List.iter
+    (fun l -> Hashtbl.add values l.N.id (Bdd.var man (Hashtbl.find ps_var l.N.id)))
+    latches;
+  List.iter
+    (fun n ->
+      match n.N.kind with
+      | N.Const b -> Hashtbl.add values n.N.id (if b then Bdd.btrue else Bdd.bfalse)
+      | N.Input | N.Latch _ | N.Logic _ -> ())
+    (N.all_nodes net);
+  List.iter
+    (fun n ->
+      let fanins = Array.map (fun f -> Hashtbl.find values f) n.N.fanins in
+      let cover = N.cover_of n in
+      let cube_bdd cube =
+        let acc = ref Bdd.btrue in
+        Array.iteri
+          (fun i l ->
+            match l with
+            | Logic.Cube.One -> acc := Bdd.band man !acc fanins.(i)
+            | Logic.Cube.Zero -> acc := Bdd.band man !acc (Bdd.bnot man fanins.(i))
+            | Logic.Cube.Both -> ())
+          cube;
+        !acc
+      in
+      let v =
+        List.fold_left
+          (fun acc c -> Bdd.bor man acc (cube_bdd c))
+          Bdd.bfalse cover.Logic.Cover.cubes
+      in
+      Hashtbl.add values n.N.id v;
+      if Bdd.node_count man > max_bdd_nodes then
+        raise (Too_large "BDD blow-up while building transition functions"))
+    (N.topo_combinational net);
+  (* transition relation over ns variables *)
+  let ns_base = npi + nlatch in
+  let transition = ref Bdd.btrue in
+  List.iteri
+    (fun j l ->
+      let f = Hashtbl.find values (N.latch_data net l).N.id in
+      transition :=
+        Bdd.band man !transition
+          (Bdd.bxnor man (Bdd.var man (ns_base + j)) f))
+    latches;
+  (* initial state set *)
+  let init = ref Bdd.btrue in
+  List.iter
+    (fun l ->
+      let v = Bdd.var man (Hashtbl.find ps_var l.N.id) in
+      match N.latch_init l with
+      | N.I0 -> init := Bdd.band man !init (Bdd.bnot man v)
+      | N.I1 -> init := Bdd.band man !init v
+      | N.Ix -> ())
+    latches;
+  let pi_vars = List.init npi Fun.id in
+  let ps_vars = List.init nlatch (fun j -> npi + j) in
+  let image r =
+    let after = Bdd.and_exists man (pi_vars @ ps_vars) !transition r in
+    Bdd.rename man after (fun v -> v - nlatch)
+  in
+  let rec fixpoint reached frontier =
+    if Bdd.node_count man > max_bdd_nodes then
+      raise (Too_large "BDD blow-up during reachability");
+    let next = image frontier in
+    let fresh = Bdd.band man next (Bdd.bnot man reached) in
+    if Bdd.is_false fresh then reached
+    else fixpoint (Bdd.bor man reached fresh) fresh
+  in
+  let reached = fixpoint !init !init in
+  (* express over latch variables 0..nlatch-1 *)
+  let shifted = Bdd.rename man reached (fun v -> v - npi) in
+  let cover_of f =
+    try Bdd.to_cover ~max_cubes:20_000 man ~nvars:nlatch f
+    with Bdd.Cover_too_large ->
+      raise (Too_large "reachable-set cover explosion")
+  in
+  let reachable = cover_of shifted in
+  let unreachable = cover_of (Bdd.bnot man shifted) in
+  { latch_order = latches;
+    reachable;
+    unreachable;
+    num_reachable = Bdd.sat_count man ~nvars:nlatch shifted }
+
+let simplify_with_unreachable ?(max_latches = 24) ?(max_leaves = 14) net =
+  match unreachable_states ~max_latches net with
+  | exception Too_large _ -> 0
+  | r ->
+    let latch_var = Hashtbl.create 16 in
+    List.iteri (fun j l -> Hashtbl.add latch_var l.N.id j) r.latch_order;
+    (* DC for a cone: unreachable patterns over the cone's latch leaves; we
+       existentially project the unreachable set is NOT sound, so instead we
+       keep only unreachable cubes whose support lies within the cone's
+       leaves (those patterns never occur regardless of the other latches'
+       values requires universal projection). *)
+    let dc_for ~leaves =
+      let nvars = Array.length leaves in
+      let var_in_cone = Hashtbl.create 8 in
+      Array.iteri
+        (fun i leaf ->
+          match Hashtbl.find_opt latch_var leaf.N.id with
+          | Some j -> Hashtbl.add var_in_cone j i
+          | None -> ())
+        leaves;
+      (* universal projection: a pattern over cone latches is impossible iff
+         every completion is unreachable, i.e. it belongs to every cube? We
+         approximate from the cube list: keep unreachable cubes whose
+         support is within the cone's latch variables, rename to cone
+         numbering.  Cube semantics make this sound: such a cube asserts
+         unreachability for all completions. *)
+      let usable =
+        List.filter
+          (fun cube ->
+            let ok = ref true in
+            Array.iteri
+              (fun v l ->
+                if l <> Logic.Cube.Both && not (Hashtbl.mem var_in_cone v) then
+                  ok := false)
+              cube;
+            !ok)
+          r.unreachable.Logic.Cover.cubes
+      in
+      let renamed =
+        List.map
+          (fun cube ->
+            let c = Logic.Cube.universe nvars in
+            Array.iteri
+              (fun v l ->
+                if l <> Logic.Cube.Both then
+                  c.(Hashtbl.find var_in_cone v) <- l)
+              cube;
+            c)
+          usable
+      in
+      Logic.Cover.make nvars renamed
+    in
+    let rebuilt = ref 0 in
+    let targets =
+      List.map (fun l -> N.latch_data net l) (N.latches net)
+      @ List.map snd (N.outputs net)
+    in
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun n ->
+        match N.node_opt net n.N.id with
+        | Some n when N.is_logic n && not (Hashtbl.mem seen n.N.id) ->
+          Hashtbl.add seen n.N.id ();
+          if Cone.simplify_root ~max_leaves ~dc_for net n then incr rebuilt
+        | Some _ | None -> ())
+      targets;
+    !rebuilt

@@ -1,0 +1,1 @@
+lib/logic/cover.ml: Array Cube Format Fun List

@@ -1,0 +1,1 @@
+lib/logic/cover.mli: Cube Format

@@ -1,0 +1,1 @@
+lib/logic/factor.ml: Array Cover Cube Format Hashtbl List Set

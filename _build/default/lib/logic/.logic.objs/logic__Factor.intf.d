@@ -1,0 +1,1 @@
+lib/logic/factor.mli: Cover Cube Format

@@ -1,0 +1,1 @@
+lib/logic/minimize.ml: Array Cover Cube List Set

@@ -1,0 +1,1 @@
+lib/logic/minimize.mli: Cover

@@ -1,0 +1,1 @@
+lib/logic/truthtab.ml: Array Bytes Char Cover Cube

@@ -1,0 +1,1 @@
+lib/logic/truthtab.mli: Cover

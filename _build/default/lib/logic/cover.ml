@@ -1,0 +1,196 @@
+type t = { nvars : int; cubes : Cube.t list }
+
+let make nvars cubes =
+  List.iter (fun c -> assert (Cube.nvars c = nvars)) cubes;
+  { nvars; cubes }
+
+let empty nvars = { nvars; cubes = [] }
+
+let tautology_cover nvars = { nvars; cubes = [ Cube.universe nvars ] }
+
+let of_strings nvars strings =
+  make nvars (List.map Cube.of_string strings)
+
+let var nvars v = { nvars; cubes = [ Cube.set_var (Cube.universe nvars) v Cube.One ] }
+
+let nvar nvars v = { nvars; cubes = [ Cube.set_var (Cube.universe nvars) v Cube.Zero ] }
+
+let size f = List.length f.cubes
+
+let lit_count f = List.fold_left (fun acc c -> acc + Cube.lit_count c) 0 f.cubes
+
+let is_empty f = f.cubes = []
+
+let eval f point = List.exists (fun c -> Cube.eval c point) f.cubes
+
+let cofactor f v value =
+  let cubes = List.filter_map (fun c -> Cube.cofactor c v value) f.cubes in
+  { f with cubes }
+
+let cube_cofactor f cube =
+  (* Cofactor of each cube of [f] against [cube]: drop disjoint cubes and
+     raise the variables bound by [cube]. *)
+  let cof c =
+    if Cube.intersect c cube = None then None
+    else begin
+      let out = Array.copy c in
+      for v = 0 to f.nvars - 1 do
+        if Cube.depends_on cube v then out.(v) <- Cube.Both
+      done;
+      Some out
+    end
+  in
+  { f with cubes = List.filter_map cof f.cubes }
+
+let union a b =
+  assert (a.nvars = b.nvars);
+  { a with cubes = a.cubes @ b.cubes }
+
+let single_cube_containment f =
+  let rec keep acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+      let covered_by d = (not (Cube.equal c d)) && Cube.contains d c in
+      if List.exists covered_by acc || List.exists covered_by rest then
+        keep acc rest
+      else keep (c :: acc) rest
+  in
+  (* Deduplicate first so identical cubes do not protect each other. *)
+  let dedup = List.sort_uniq Cube.compare f.cubes in
+  { f with cubes = keep [] dedup }
+
+let depends_on f v = List.exists (fun c -> Cube.depends_on c v) f.cubes
+
+let support f =
+  let rec loop v acc =
+    if v < 0 then acc
+    else loop (v - 1) (if depends_on f v then v :: acc else acc)
+  in
+  loop (f.nvars - 1) []
+
+(* Pick the best splitting variable: the most binate one (appears in both
+   phases in many cubes); fall back to the most frequent variable. *)
+let binate_select f =
+  let n = f.nvars in
+  let pos = Array.make n 0 and neg = Array.make n 0 in
+  let count c =
+    for v = 0 to n - 1 do
+      match c.(v) with
+      | Cube.One -> pos.(v) <- pos.(v) + 1
+      | Cube.Zero -> neg.(v) <- neg.(v) + 1
+      | Cube.Both -> ()
+    done
+  in
+  List.iter count f.cubes;
+  let best = ref (-1) and best_key = ref (-1, -1) in
+  for v = 0 to n - 1 do
+    if pos.(v) + neg.(v) > 0 then begin
+      let key = (min pos.(v) neg.(v), pos.(v) + neg.(v)) in
+      if key > !best_key then begin
+        best := v;
+        best_key := key
+      end
+    end
+  done;
+  !best
+
+let rec is_tautology f =
+  if List.exists (fun c -> Cube.lit_count c = 0) f.cubes then true
+  else if f.cubes = [] then false
+  else begin
+    let v = binate_select f in
+    if v < 0 then false (* no literals and no universe cube *)
+    else
+      (* Unate shortcut: if [v] is unate we can drop it only when it is the
+         sole remaining test; splitting is always sound, so just split. *)
+      is_tautology (cofactor f v Cube.One)
+      && is_tautology (cofactor f v Cube.Zero)
+  end
+
+let covers_cube f c = is_tautology (cube_cofactor f c)
+
+let covers f g = List.for_all (covers_cube f) g.cubes
+
+let intersect a b =
+  assert (a.nvars = b.nvars);
+  let cubes =
+    List.concat_map
+      (fun ca -> List.filter_map (fun cb -> Cube.intersect ca cb) b.cubes)
+      a.cubes
+  in
+  single_cube_containment { a with cubes }
+
+(* Complement by Shannon expansion:
+   not f = x' * not(f_x') + x * not(f_x).  Terminal cases: empty cover and
+   covers containing the universe cube.  A single-cube complement is computed
+   directly by De Morgan. *)
+let rec complement f =
+  if f.cubes = [] then tautology_cover f.nvars
+  else if List.exists (fun c -> Cube.lit_count c = 0) f.cubes then empty f.nvars
+  else
+    match f.cubes with
+    | [] -> assert false (* handled above *)
+    | [ c ] ->
+      let cubes =
+        Array.to_list c
+        |> List.mapi (fun v l ->
+               match l with
+               | Cube.Both -> None
+               | Cube.One -> Some (Cube.set_var (Cube.universe f.nvars) v Cube.Zero)
+               | Cube.Zero -> Some (Cube.set_var (Cube.universe f.nvars) v Cube.One))
+        |> List.filter_map Fun.id
+      in
+      { f with cubes }
+    | _ :: _ :: _ ->
+      let v = binate_select f in
+      assert (v >= 0);
+      let attach value g =
+        let lit_cube = Cube.set_var (Cube.universe f.nvars) v value in
+        { f with
+          cubes =
+            List.filter_map (fun c -> Cube.intersect lit_cube c) g.cubes }
+      in
+      let hi = complement (cofactor f v Cube.One) in
+      let lo = complement (cofactor f v Cube.Zero) in
+      single_cube_containment (union (attach Cube.One hi) (attach Cube.Zero lo))
+
+let sharp a b =
+  if b.cubes = [] then a
+  else intersect a (complement b)
+
+let equivalent a b = covers a b && covers b a
+
+let minterms f =
+  let n = f.nvars in
+  let out = ref [] in
+  let point = Array.make n false in
+  let rec enum v =
+    if v = n then begin
+      if eval f point then out := Array.copy point :: !out
+    end
+    else begin
+      point.(v) <- false;
+      enum (v + 1);
+      point.(v) <- true;
+      enum (v + 1)
+    end
+  in
+  enum 0;
+  List.rev !out
+
+let rename f nvars' map =
+  let rename_cube c =
+    let out = Cube.universe nvars' in
+    Array.iteri
+      (fun v l -> if l <> Cube.Both then out.(map.(v)) <- l)
+      c;
+    out
+  in
+  { nvars = nvars'; cubes = List.map rename_cube f.cubes }
+
+let pp fmt f =
+  if f.cubes = [] then Format.pp_print_string fmt "<0>"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " + ")
+      Cube.pp fmt f.cubes

@@ -1,0 +1,70 @@
+(** Cubes: products of literals over a fixed set of Boolean variables.
+
+    A cube assigns to each variable one of three values: the variable appears
+    as a negative literal ({!Zero}), as a positive literal ({!One}), or not at
+    all ({!Both}, i.e. the cube does not depend on it).  A cube denotes the
+    set of minterms consistent with its literals. *)
+
+type lit = Zero | One | Both
+
+type t = lit array
+(** Cubes are fixed-width literal arrays; index = variable number.  Treat
+    values as immutable: every exported operation returns a fresh cube. *)
+
+val universe : int -> t
+(** [universe n] is the full cube over [n] variables (tautology product). *)
+
+val of_string : string -> t
+(** [of_string "01-"] parses a cube: ['0'] negative, ['1'] positive, ['-']
+    absent.  Raises [Invalid_argument] on other characters. *)
+
+val to_string : t -> string
+
+val minterm : int -> bool array -> t
+(** [minterm n point] is the cube containing exactly [point]. *)
+
+val nvars : t -> int
+
+val lit_count : t -> int
+(** Number of variables appearing as literals (non-[Both] positions). *)
+
+val is_minterm : t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val contains : t -> t -> bool
+(** [contains a b] is true when every minterm of [b] is in [a] (single-cube
+    containment: [a]'s literals are a subset of [b]'s). *)
+
+val intersect : t -> t -> t option
+(** Product of two cubes; [None] when they are disjoint (opposing literals). *)
+
+val distance : t -> t -> int
+(** Number of variables on which the cubes have opposing literals.  Zero means
+    they intersect; one means consensus exists. *)
+
+val consensus : t -> t -> t option
+(** Consensus on the single conflicting variable, when [distance] is 1. *)
+
+val supercube : t -> t -> t
+(** Smallest cube containing both arguments. *)
+
+val cofactor : t -> int -> lit -> t option
+(** [cofactor c v value] is the cofactor of [c] with respect to the literal
+    [v=value]; [None] if [c] has the opposing literal.  [value] must not be
+    [Both]. *)
+
+val eval : t -> bool array -> bool
+(** Membership of a minterm, given as a point. *)
+
+val raise_var : t -> int -> t
+(** Copy with variable [v] raised to [Both]. *)
+
+val set_var : t -> int -> lit -> t
+(** Copy with variable [v] set to the given literal. *)
+
+val depends_on : t -> int -> bool
+
+val pp : Format.formatter -> t -> unit

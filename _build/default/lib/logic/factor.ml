@@ -1,0 +1,277 @@
+type expr =
+  | Const of bool
+  | Lit of int * bool
+  | And of expr list
+  | Or of expr list
+
+let rec eval expr point =
+  match expr with
+  | Const b -> b
+  | Lit (v, phase) -> if phase then point.(v) else not point.(v)
+  | And es -> List.for_all (fun e -> eval e point) es
+  | Or es -> List.exists (fun e -> eval e point) es
+
+let rec to_cover n expr =
+  match expr with
+  | Const false -> Cover.empty n
+  | Const true -> Cover.tautology_cover n
+  | Lit (v, true) -> Cover.var n v
+  | Lit (v, false) -> Cover.nvar n v
+  | And es ->
+    List.fold_left
+      (fun acc e -> Cover.intersect acc (to_cover n e))
+      (Cover.tautology_cover n) es
+  | Or es ->
+    List.fold_left
+      (fun acc e -> Cover.union acc (to_cover n e))
+      (Cover.empty n) es
+
+let rec literal_count = function
+  | Const _ -> 0
+  | Lit _ -> 1
+  | And es | Or es -> List.fold_left (fun acc e -> acc + literal_count e) 0 es
+
+let rec pp fmt = function
+  | Const b -> Format.pp_print_string fmt (if b then "1" else "0")
+  | Lit (v, true) -> Format.fprintf fmt "x%d" v
+  | Lit (v, false) -> Format.fprintf fmt "x%d'" v
+  | And es ->
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "*")
+      pp_atom fmt es
+  | Or es ->
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " + ")
+      pp fmt es
+
+and pp_atom fmt e =
+  match e with
+  | Or (_ :: _ :: _) -> Format.fprintf fmt "(%a)" pp e
+  | Or _ | Const _ | Lit _ | And _ -> pp fmt e
+
+let divide_by_cube f c =
+  let quotient = ref [] and remainder = ref [] in
+  let strip cube =
+    (* The cube is divisible by [c] iff it carries every literal of [c]. *)
+    if Array.for_all2 (fun lc lf -> lc = Cube.Both || lc = lf) c cube then begin
+      (* cube contains every literal of c: remove them *)
+      let out = Array.copy cube in
+      Array.iteri (fun v l -> if l <> Cube.Both then out.(v) <- Cube.Both) c;
+      quotient := out :: !quotient
+    end
+    else remainder := cube :: !remainder
+  in
+  List.iter strip f.Cover.cubes;
+  ( Cover.make f.Cover.nvars (List.rev !quotient),
+    Cover.make f.Cover.nvars (List.rev !remainder) )
+
+let divide f d =
+  match d.Cover.cubes with
+  | [] -> (Cover.empty f.Cover.nvars, f)
+  | first :: rest ->
+    (* Weak division: Q = intersection over divisor cubes of per-cube
+       quotients; R = f - d*Q. *)
+    let module CS = Set.Make (struct
+      type t = Cube.t
+      let compare = Cube.compare
+    end) in
+    let q0, _ = divide_by_cube f first in
+    let q =
+      List.fold_left
+        (fun acc dc ->
+          let qi, _ = divide_by_cube f dc in
+          CS.inter acc (CS.of_list qi.Cover.cubes))
+        (CS.of_list q0.Cover.cubes)
+        rest
+    in
+    let q = Cover.make f.Cover.nvars (CS.elements q) in
+    if Cover.is_empty q then (q, f)
+    else begin
+      (* algebraic product d*q, then remainder = cubes of f not produced *)
+      let product =
+        List.concat_map
+          (fun dc ->
+            List.filter_map (fun qc -> Cube.intersect dc qc) q.Cover.cubes)
+          d.Cover.cubes
+      in
+      let product_set = CS.of_list product in
+      let r =
+        List.filter (fun c -> not (CS.mem c product_set)) f.Cover.cubes
+      in
+      (q, Cover.make f.Cover.nvars r)
+    end
+
+let common_cube f =
+  match f.Cover.cubes with
+  | [] -> None
+  | first :: rest ->
+    let acc = Array.copy first in
+    List.iter
+      (fun c ->
+        Array.iteri (fun v l -> if l <> c.(v) then acc.(v) <- Cube.Both) acc;
+        ignore c)
+      rest;
+    if Cube.lit_count acc = 0 then None else Some acc
+
+let cube_free f = common_cube f = None && Cover.size f > 1
+
+let make_cube_free f =
+  match common_cube f with
+  | None -> f
+  | Some c ->
+    let q, _ = divide_by_cube f c in
+    q
+
+(* Recursive kernel enumeration (Brayton-McMullen).  For each variable with
+   two or more occurrences, cofactor out the largest common cube and recurse;
+   collect cube-free quotients as kernels with their co-kernels. *)
+let kernels f =
+  let n = f.Cover.nvars in
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add co_kernel kernel =
+    let key = List.sort Cube.compare kernel.Cover.cubes in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      out := (co_kernel, kernel) :: !out
+    end
+  in
+  let rec kern g co_kernel from_var =
+    if cube_free g then add co_kernel g;
+    for v = from_var to n - 1 do
+      List.iter
+        (fun phase ->
+          let lit_cube = Cube.set_var (Cube.universe n) v phase in
+          let with_lit =
+            List.filter
+              (fun c -> c.(v) = phase)
+              g.Cover.cubes
+          in
+          if List.length with_lit >= 2 then begin
+            let sub = Cover.make n with_lit in
+            let q, _ = divide_by_cube sub lit_cube in
+            let common =
+              match common_cube q with
+              | None -> lit_cube
+              | Some c ->
+                (match Cube.intersect c lit_cube with
+                 | Some x -> x
+                 | None -> lit_cube)
+            in
+            let q = make_cube_free q in
+            if Cover.size q >= 2 then begin
+              let ck =
+                match Cube.intersect co_kernel common with
+                | Some x -> x
+                | None -> common
+              in
+              add ck q;
+              kern q ck (v + 1)
+            end
+          end)
+        [ Cube.One; Cube.Zero ]
+    done
+  in
+  kern (make_cube_free f) (Cube.universe n) 0;
+  if cube_free f then add (Cube.universe n) f;
+  !out
+
+let cube_to_expr c =
+  let lits = ref [] in
+  Array.iteri
+    (fun v l ->
+      match l with
+      | Cube.One -> lits := Lit (v, true) :: !lits
+      | Cube.Zero -> lits := Lit (v, false) :: !lits
+      | Cube.Both -> ())
+    c;
+  match !lits with
+  | [] -> Const true
+  | [ one ] -> one
+  | several -> And (List.rev several)
+
+let smart_or = function
+  | [] -> Const false
+  | [ one ] -> one
+  | several -> Or several
+
+let smart_and = function
+  | [] -> Const true
+  | [ one ] -> one
+  | several -> And several
+
+let best_literal f =
+  let n = f.Cover.nvars in
+  let best = ref None and best_count = ref 1 in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun phase ->
+        let count =
+          List.length (List.filter (fun c -> c.(v) = phase) f.Cover.cubes)
+        in
+        if count > !best_count then begin
+          best := Some (v, phase);
+          best_count := count
+        end)
+      [ Cube.One; Cube.Zero ]
+  done;
+  !best
+
+let rec quick_factor f =
+  match f.Cover.cubes with
+  | [] -> Const false
+  | [ c ] -> cube_to_expr c
+  | _ :: _ :: _ ->
+    if List.exists (fun c -> Cube.lit_count c = 0) f.Cover.cubes then Const true
+    else begin
+      match best_literal f with
+      | None -> smart_or (List.map cube_to_expr f.Cover.cubes)
+      | Some (v, phase) ->
+        let n = f.Cover.nvars in
+        let lit_cube = Cube.set_var (Cube.universe n) v phase in
+        let q, r = divide_by_cube f lit_cube in
+        let q_expr = quick_factor q in
+        let head = smart_and [ Lit (v, phase = Cube.One); q_expr ] in
+        if Cover.is_empty r then head
+        else smart_or [ head; quick_factor r ]
+    end
+
+let kernel_value f (_ck, k) =
+  let q, _ = divide f k in
+  Cover.size q * (Cover.lit_count k - 1)
+
+let rec good_factor f =
+  match f.Cover.cubes with
+  | [] -> Const false
+  | [ c ] -> cube_to_expr c
+  | _ :: _ :: _ ->
+    if List.exists (fun c -> Cube.lit_count c = 0) f.Cover.cubes then Const true
+    else begin
+      let candidates =
+        kernels f
+        |> List.filter (fun (_, k) -> Cover.size k >= 2 && Cover.size k < Cover.size f)
+      in
+      match candidates with
+      | [] -> quick_factor f
+      | _ :: _ ->
+        let best =
+          List.fold_left
+            (fun acc cand ->
+              match acc with
+              | None -> Some (cand, kernel_value f cand)
+              | Some (_, v) ->
+                let v' = kernel_value f cand in
+                if v' > v then Some (cand, v') else acc)
+            None candidates
+        in
+        (match best with
+         | None -> quick_factor f
+         | Some ((_, k), value) when value > 0 ->
+           let q, r = divide f k in
+           if Cover.is_empty q then quick_factor f
+           else begin
+             let head = smart_and [ good_factor q; good_factor k ] in
+             if Cover.is_empty r then head else smart_or [ head; good_factor r ]
+           end
+         | Some _ -> quick_factor f)
+    end

@@ -1,0 +1,40 @@
+(** Algebraic factoring of SOP covers into expression trees.
+
+    Used to decompose node functions into 2-input gates and to rebuild
+    structure after don't-care simplification. *)
+
+type expr =
+  | Const of bool
+  | Lit of int * bool  (** variable index, phase ([true] = positive literal) *)
+  | And of expr list
+  | Or of expr list
+
+val eval : expr -> bool array -> bool
+
+val to_cover : int -> expr -> Cover.t
+(** Flatten an expression back to an SOP over [n] variables (for checks). *)
+
+val literal_count : expr -> int
+
+val pp : Format.formatter -> expr -> unit
+
+val divide_by_cube : Cover.t -> Cube.t -> Cover.t * Cover.t
+(** Weak division [f / c]: quotient and remainder, [f = c*q + r]
+    algebraically. *)
+
+val divide : Cover.t -> Cover.t -> Cover.t * Cover.t
+(** Weak division by a multi-cube divisor. *)
+
+val cube_free : Cover.t -> bool
+(** No literal common to all cubes. *)
+
+val kernels : Cover.t -> (Cube.t * Cover.t) list
+(** All (co-kernel, kernel) pairs, including the cover itself when it is
+    cube-free (with the universe co-kernel). *)
+
+val quick_factor : Cover.t -> expr
+(** Literal-based recursive factoring (SIS [quick_factor] analogue). *)
+
+val good_factor : Cover.t -> expr
+(** Kernel-based factoring; falls back to {!quick_factor} on covers without
+    useful kernels. *)

@@ -1,0 +1,173 @@
+let cost f = (Cover.size f, Cover.lit_count f)
+
+(* A cube is feasible iff it does not intersect the OFF-set. *)
+let feasible ~(off : Cover.t) cube =
+  not (List.exists (fun c -> Cube.intersect c cube <> None) off.Cover.cubes)
+
+let expand_cube ~off cube =
+  let n = Cube.nvars cube in
+  let current = ref (Array.copy cube) in
+  (* Greedy: try variables in order of how constrained they are; a simple
+     left-to-right pass repeated until fixpoint is adequate at our sizes. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for v = 0 to n - 1 do
+      if Cube.depends_on !current v then begin
+        let candidate = Cube.raise_var !current v in
+        if feasible ~off candidate then begin
+          current := candidate;
+          changed := true
+        end
+      end
+    done
+  done;
+  !current
+
+let expand ~off f =
+  let cubes = List.map (expand_cube ~off) f.Cover.cubes in
+  Cover.single_cube_containment { f with Cover.cubes }
+
+let irredundant ~dc f =
+  let rec loop kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+      let others = Cover.make f.Cover.nvars (List.rev_append kept rest) in
+      if Cover.covers_cube (Cover.union others dc) c then loop kept rest
+      else loop (c :: kept) rest
+  in
+  { f with Cover.cubes = loop [] f.Cover.cubes }
+
+let reduce ~dc f =
+  let reduce_cube others c =
+    (* Essential part of [c]: minterms of [c] not covered by the rest of the
+       cover nor the DC set.  Replace [c] by the supercube of that part. *)
+    let rest = Cover.union (Cover.make f.Cover.nvars others) dc in
+    let essential = Cover.sharp (Cover.make f.Cover.nvars [ c ]) rest in
+    match essential.Cover.cubes with
+    | [] -> None (* fully redundant *)
+    | first :: more -> Some (List.fold_left Cube.supercube first more)
+  in
+  let rec loop kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+      (match reduce_cube (List.rev_append kept rest) c with
+       | None -> loop kept rest
+       | Some c' -> loop (c' :: kept) rest)
+  in
+  { f with Cover.cubes = loop [] f.Cover.cubes }
+
+let minimize ?dc f =
+  let dc = match dc with Some d -> d | None -> Cover.empty f.Cover.nvars in
+  if Cover.is_empty f then f
+  else begin
+    let off = Cover.complement (Cover.union f dc) in
+    let rec loop best =
+      let candidate = best |> expand ~off |> irredundant ~dc |> reduce ~dc in
+      let candidate = expand ~off candidate |> irredundant ~dc in
+      if cost candidate < cost best then loop candidate else best
+    in
+    let start = expand ~off f |> irredundant ~dc in
+    loop start
+  end
+
+(* --- Exact minimization for small supports (Quine-McCluskey + greedy/exact
+   covering) --------------------------------------------------------------- *)
+
+let all_minterms_of f dc =
+  let n = f.Cover.nvars in
+  let on = ref [] and care = ref [] in
+  let point = Array.make n false in
+  let rec enum v =
+    if v = n then begin
+      let in_f = Cover.eval f point and in_dc = Cover.eval dc point in
+      if in_f || in_dc then care := Array.copy point :: !care;
+      if in_f && not in_dc then on := Array.copy point :: !on
+    end
+    else begin
+      point.(v) <- false;
+      enum (v + 1);
+      point.(v) <- true;
+      enum (v + 1)
+    end
+  in
+  enum 0;
+  (List.rev !on, List.rev !care)
+
+let prime_implicants n care_points =
+  (* Iterative consensus over minterm cubes restricted to the care set. *)
+  let module CS = Set.Make (struct
+    type t = Cube.t
+    let compare = Cube.compare
+  end) in
+  let care = Cover.make n (List.map (Cube.minterm n) care_points) in
+  let start = CS.of_list (List.map (Cube.minterm n) care_points) in
+  let rec grow current =
+    let next = ref CS.empty and merged = ref CS.empty in
+    let items = CS.elements current in
+    List.iteri
+      (fun i a ->
+        List.iteri
+          (fun j b ->
+            if j > i && Cube.distance a b = 1 then
+              match Cube.consensus a b with
+              | Some c when Cube.contains c a && Cube.contains c b ->
+                (* adjacent merge (a, b differ in exactly one variable) *)
+                if Cover.covers_cube care c then begin
+                  next := CS.add c !next;
+                  merged := CS.add a (CS.add b !merged)
+                end
+              | Some _ | None -> ())
+          items)
+      items;
+    let primes = CS.diff current !merged in
+    if CS.is_empty !next then primes else CS.union primes (grow !next)
+  in
+  CS.elements (grow start)
+
+let minimize_exact_small ?dc f =
+  let n = f.Cover.nvars in
+  assert (n <= 12);
+  let dc = match dc with Some d -> d | None -> Cover.empty n in
+  let on, care = all_minterms_of f dc in
+  if on = [] then Cover.empty n
+  else if care = [] then Cover.empty n
+  else begin
+    let primes = prime_implicants n care in
+    (* Greedy set cover of ON minterms by primes, preferring big cubes. *)
+    let uncovered = ref on and chosen = ref [] in
+    let primes =
+      List.sort (fun a b -> compare (Cube.lit_count a) (Cube.lit_count b)) primes
+    in
+    (* Essential primes first. *)
+    List.iter
+      (fun m ->
+        let covering = List.filter (fun p -> Cube.eval p m) primes in
+        match covering with
+        | [ only ] when not (List.memq only !chosen) -> chosen := only :: !chosen
+        | [] | [ _ ] | _ :: _ :: _ -> ())
+      on;
+    uncovered :=
+      List.filter (fun m -> not (List.exists (fun p -> Cube.eval p m) !chosen)) !uncovered;
+    while !uncovered <> [] do
+      let best = ref None and best_gain = ref (-1) in
+      List.iter
+        (fun p ->
+          if not (List.memq p !chosen) then begin
+            let gain =
+              List.length (List.filter (fun m -> Cube.eval p m) !uncovered)
+            in
+            if gain > !best_gain then begin
+              best := Some p;
+              best_gain := gain
+            end
+          end)
+        primes;
+      match !best with
+      | Some p ->
+        chosen := p :: !chosen;
+        uncovered := List.filter (fun m -> not (Cube.eval p m)) !uncovered
+      | None -> failwith "minimize_exact_small: cover construction failed"
+    done;
+    Cover.single_cube_containment (Cover.make n !chosen)
+  end

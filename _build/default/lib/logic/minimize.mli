@@ -1,0 +1,23 @@
+(** Two-level minimization with don't-cares (espresso-lite).
+
+    Implements the classical expand / irredundant / reduce loop over an
+    ON-set cover [f] and a DC-set cover [dc].  The result covers exactly the
+    minterms of [f] outside [dc], may absorb any minterm of [dc], and never
+    intersects the OFF-set. *)
+
+val expand : off:Cover.t -> Cover.t -> Cover.t
+(** Raise each cube's literals greedily as long as the expanded cube stays
+    disjoint from [off]; then drop single-cube-contained cubes. *)
+
+val irredundant : dc:Cover.t -> Cover.t -> Cover.t
+(** Remove cubes covered by the rest of the cover plus [dc]. *)
+
+val reduce : dc:Cover.t -> Cover.t -> Cover.t
+(** Shrink each cube to the supercube of its essential part. *)
+
+val minimize : ?dc:Cover.t -> Cover.t -> Cover.t
+(** Full loop until the (cube count, literal count) cost stops improving. *)
+
+val minimize_exact_small : ?dc:Cover.t -> Cover.t -> Cover.t
+(** Quine–McCluskey style exact minimization for small variable counts
+    (<= 10); used by tests as a reference and by node remapping when cheap. *)

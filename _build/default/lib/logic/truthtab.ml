@@ -1,0 +1,80 @@
+type t = { n : int; bits : Bytes.t }
+
+let nvars t = t.n
+
+let size_bytes n = max 1 ((1 lsl n) / 8 + if (1 lsl n) mod 8 = 0 then 0 else 1)
+
+let get t i = Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set bits i value =
+  let byte = Char.code (Bytes.get bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte = if value then byte lor mask else byte land lnot mask in
+  Bytes.set bits (i lsr 3) (Char.chr byte)
+
+let point_of_index n i = Array.init n (fun v -> i land (1 lsl v) <> 0)
+
+let create n f =
+  assert (n <= 20);
+  let bits = Bytes.make (size_bytes n) '\000' in
+  for i = 0 to (1 lsl n) - 1 do
+    set bits i (f (point_of_index n i))
+  done;
+  { n; bits }
+
+let of_cover cover = create cover.Cover.nvars (Cover.eval cover)
+
+let to_cover t =
+  let cubes = ref [] in
+  for i = (1 lsl t.n) - 1 downto 0 do
+    if get t i then cubes := Cube.minterm t.n (point_of_index t.n i) :: !cubes
+  done;
+  Cover.make t.n !cubes
+
+let const n value = create n (fun _ -> value)
+
+let var n v = create n (fun point -> point.(v))
+
+let eval t point =
+  let idx = ref 0 in
+  for v = 0 to t.n - 1 do
+    if point.(v) then idx := !idx lor (1 lsl v)
+  done;
+  get t !idx
+
+let equal a b = a.n = b.n && Bytes.equal a.bits b.bits
+
+let count_ones t =
+  let count = ref 0 in
+  for i = 0 to (1 lsl t.n) - 1 do
+    if get t i then incr count
+  done;
+  !count
+
+let map2 op a b =
+  assert (a.n = b.n);
+  let bits = Bytes.make (Bytes.length a.bits) '\000' in
+  for i = 0 to Bytes.length bits - 1 do
+    Bytes.set bits i
+      (Char.chr (op (Char.code (Bytes.get a.bits i)) (Char.code (Bytes.get b.bits i))))
+  done;
+  { a with bits }
+
+let band = map2 ( land )
+let bor = map2 ( lor )
+let bxor = map2 ( lxor )
+
+let bnot a =
+  let out = create a.n (fun _ -> false) in
+  for i = 0 to (1 lsl a.n) - 1 do
+    set out.bits i (not (get a i))
+  done;
+  out
+
+let cofactor t v value =
+  create t.n (fun point ->
+      let p = Array.copy point in
+      p.(v) <- value;
+      eval t p)
+
+let depends_on t v = not (equal (cofactor t v true) (cofactor t v false))

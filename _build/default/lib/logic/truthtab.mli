@@ -1,0 +1,38 @@
+(** Dense truth tables for functions of up to 20 variables.
+
+    Bit [i] of the table is the function value on the point whose variable [v]
+    equals bit [v] of [i].  Used as a reference semantics in tests and for
+    small-node manipulations. *)
+
+type t
+
+val nvars : t -> int
+
+val create : int -> (bool array -> bool) -> t
+
+val of_cover : Cover.t -> t
+
+val to_cover : t -> Cover.t
+(** Minterm-canonical cover (one cube per ON point). *)
+
+val const : int -> bool -> t
+
+val var : int -> int -> t
+
+val get : t -> int -> bool
+(** Value on the minterm with the given index. *)
+
+val eval : t -> bool array -> bool
+
+val equal : t -> t -> bool
+
+val count_ones : t -> int
+
+val band : t -> t -> t
+val bor : t -> t -> t
+val bxor : t -> t -> t
+val bnot : t -> t
+
+val cofactor : t -> int -> bool -> t
+
+val depends_on : t -> int -> bool

@@ -1,0 +1,1 @@
+lib/netlist/blif.ml: Buffer Hashtbl List Logic Network Printf String

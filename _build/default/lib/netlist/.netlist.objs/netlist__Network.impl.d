@@ -1,0 +1,1 @@
+lib/netlist/network.ml: Array Format Hashtbl List Logic Printf String

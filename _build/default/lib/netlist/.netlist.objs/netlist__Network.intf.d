@@ -1,0 +1,1 @@
+lib/netlist/network.mli: Format Logic

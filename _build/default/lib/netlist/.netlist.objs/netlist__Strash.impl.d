@@ -1,0 +1,1 @@
+lib/netlist/strash.ml: Array Hashtbl List Logic Network String

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Hashtbl List Logic Network Printf String

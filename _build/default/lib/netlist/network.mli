@@ -1,0 +1,164 @@
+(** Mutable Boolean networks in the SIS style.
+
+    A network is a graph of nodes: primary inputs, constants, SOP logic nodes
+    and latches (edge-triggered flip-flops with an initial value).  Latches
+    have exactly one fanin (the data input); combinational cycles are
+    forbidden but cycles through latches are the norm (FSM feedback).
+
+    All structural edits maintain fanout lists.  Node ids are stable for the
+    lifetime of the network (deleted ids are never reused). *)
+
+type init = I0 | I1 | Ix
+
+type binding = {
+  gate_name : string;
+  gate_area : float;
+  gate_delay : float;
+}
+(** Technology binding attached to a mapped logic node. *)
+
+type kind =
+  | Input
+  | Const of bool
+  | Logic of Logic.Cover.t
+      (** SOP over the node's fanins; [Cover.nvars] equals the fanin count. *)
+  | Latch of init
+
+type node = private {
+  id : int;
+  mutable name : string;
+  mutable kind : kind;
+  mutable fanins : int array;
+  mutable fanouts : int list;  (** consumer ids, with multiplicity *)
+  mutable binding : binding option;
+}
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val model_name : t -> string
+
+(** {1 Construction} *)
+
+val add_input : t -> string -> node
+val add_const : t -> bool -> node
+
+val add_logic : t -> ?name:string -> Logic.Cover.t -> node list -> node
+(** [add_logic net cover fanins]: [cover] is over the fanin positions. *)
+
+val add_latch : t -> ?name:string -> init -> node -> node
+
+val set_output : t -> string -> node -> unit
+(** Register a primary output driven by the node.  A node may drive several
+    outputs; an output name may be set only once. *)
+
+val retarget_output : t -> string -> node -> unit
+(** Point an existing primary output at a different driver. *)
+
+(** {1 Access} *)
+
+val node : t -> int -> node
+(** Raises [Invalid_argument] on deleted or unknown ids. *)
+
+val node_opt : t -> int -> node option
+val fanin_nodes : t -> node -> node list
+val fanout_nodes : t -> node -> node list
+val inputs : t -> node list
+val outputs : t -> (string * node) list
+val latches : t -> node list
+val logic_nodes : t -> node list
+val all_nodes : t -> node list
+val find_by_name : t -> string -> node option
+
+val is_latch : node -> bool
+val is_logic : node -> bool
+val is_input : node -> bool
+
+val cover_of : node -> Logic.Cover.t
+(** The SOP of a logic node; constants and inputs raise. *)
+
+val latch_init : node -> init
+val latch_data : t -> node -> node
+
+val num_latches : t -> int
+val num_logic : t -> int
+
+val drives_output : t -> node -> bool
+
+(** {1 Edit} *)
+
+val set_cover : t -> node -> Logic.Cover.t -> unit
+(** Replace a logic node's function (same fanins). *)
+
+val set_function : t -> node -> Logic.Cover.t -> node list -> unit
+(** Replace a logic node's function and fanins. *)
+
+val set_name : node -> string -> unit
+
+val set_name_of_model : t -> string -> unit
+
+val become_latch : t -> node -> init -> node -> unit
+(** Convert a logic node in place into a latch with the given init and data
+    fanin (used by the BLIF reader to resolve forward references). *)
+
+val set_binding : node -> binding option -> unit
+val set_latch_init : node -> init -> unit
+
+val replace_fanin : t -> node -> old_fanin:node -> new_fanin:node -> unit
+(** Rewire every occurrence of [old_fanin] in [node]'s fanin array. *)
+
+val transfer_fanouts : t -> from:node -> to_:node -> unit
+(** Every consumer of [from] (including primary outputs) now reads [to_]. *)
+
+val delete : t -> node -> unit
+(** The node must have no fanouts and drive no output. *)
+
+val duplicate_for : t -> node -> consumer:node -> node
+(** Clone a logic node so that [consumer] reads the clone instead; the clone
+    shares the fanins of the original.  Returns the clone. *)
+
+(** {1 Analysis} *)
+
+val topo_combinational : t -> node list
+(** Logic nodes in topological order, treating latches, inputs and constants
+    as sources.  Raises [Failure] if a combinational cycle exists. *)
+
+val transitive_fanin_cone : t -> node -> node list
+(** Logic nodes in the cone of the node, up to latches/inputs/constants,
+    in topological order (inputs first); includes the node itself if logic. *)
+
+val cone_leaves : t -> node -> node list
+(** The latch/input/constant frontier of the node's combinational cone. *)
+
+val eval_comb : t -> (int -> bool) -> int -> bool
+(** [eval_comb net leaf_value id] evaluates node [id] combinationally, with
+    latch outputs, inputs and constants supplied by [leaf_value] (constants
+    may also be supplied as their value). *)
+
+val check : t -> unit
+(** Assert structural invariants (fanin/fanout symmetry, cover widths, latch
+    arity, acyclicity); for tests and debugging. *)
+
+val copy : t -> t
+(** Deep copy with identical node ids. *)
+
+val restore : t -> t -> unit
+(** [restore net snapshot] reverts [net] in place to the state captured by an
+    earlier {!copy}.  Node handles obtained before the snapshot are stale
+    afterwards; re-fetch them by id. *)
+
+(** {1 Cleanup} *)
+
+val sweep : t -> unit
+(** Propagate constants, collapse single-input identity nodes (buffers) into
+    their sources, and remove nodes that reach no primary output. *)
+
+(** {1 Statistics} *)
+
+val lit_count : t -> int
+val area : t -> latch_area:float -> default_gate_area:float -> float
+
+val stats_string : t -> string
+
+val pp : Format.formatter -> t -> unit

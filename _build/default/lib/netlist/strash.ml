@@ -1,0 +1,33 @@
+let canonical_key net n =
+  let cover = Network.cover_of n in
+  let cubes =
+    List.sort_uniq compare (List.map Logic.Cube.to_string cover.Logic.Cover.cubes)
+  in
+  ignore net;
+  String.concat "|" cubes
+  ^ "@"
+  ^ String.concat ","
+      (List.map string_of_int (Array.to_list n.Network.fanins))
+
+let run net =
+  let eliminated = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let table = Hashtbl.create 256 in
+    List.iter
+      (fun n ->
+        match Network.node_opt net n.Network.id with
+        | Some n when Network.is_logic n ->
+          let key = canonical_key net n in
+          (match Hashtbl.find_opt table key with
+           | None -> Hashtbl.add table key n
+           | Some representative ->
+             Network.transfer_fanouts net ~from:n ~to_:representative;
+             Network.delete net n;
+             incr eliminated;
+             changed := true)
+        | Some _ | None -> ())
+      (Network.topo_combinational net)
+  done;
+  !eliminated

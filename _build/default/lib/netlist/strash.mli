@@ -1,0 +1,8 @@
+(** Structural hashing: merge logic nodes that compute the same SOP over the
+    same fanins (up to cube order).  Run after duplication-heavy passes
+    (the resynthesis algorithm duplicates gates along the critical path; the
+    copies frequently become identical again after simplification). *)
+
+val run : Network.t -> int
+(** Merge identical nodes to a fixpoint; returns the number of nodes
+    eliminated. *)

@@ -1,0 +1,140 @@
+let sanitize name =
+  let ok c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+    | _ -> '_'
+  in
+  let s = String.map ok name in
+  if s = "" || match s.[0] with '0' .. '9' -> true | _ -> false then "n_" ^ s
+  else s
+
+let to_string net =
+  (* unique sanitized name per node id *)
+  let names = Hashtbl.create 64 in
+  let used = Hashtbl.create 64 in
+  let name_of n =
+    match Hashtbl.find_opt names n.Network.id with
+    | Some s -> s
+    | None ->
+      let base = sanitize n.Network.name in
+      let rec unique candidate k =
+        if Hashtbl.mem used candidate then
+          unique (Printf.sprintf "%s_%d" base k) (k + 1)
+        else candidate
+      in
+      let s = unique base 0 in
+      Hashtbl.add used s ();
+      Hashtbl.add names n.Network.id s;
+      s
+  in
+  let buf = Buffer.create 2048 in
+  let inputs = Network.inputs net in
+  let outputs = Network.outputs net in
+  let latches = Network.latches net in
+  let logic = Network.topo_combinational net in
+  let port_names =
+    ("clk" :: List.map name_of inputs)
+    @ List.map (fun (po, _) -> sanitize ("po_" ^ po)) outputs
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "module %s(%s);\n"
+       (sanitize (Network.model_name net))
+       (String.concat ", " port_names));
+  Buffer.add_string buf "  input clk;\n";
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "  input %s;\n" (name_of n)))
+    inputs;
+  List.iter
+    (fun (po, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  output %s;\n" (sanitize ("po_" ^ po))))
+    outputs;
+  List.iter
+    (fun l -> Buffer.add_string buf (Printf.sprintf "  reg %s;\n" (name_of l)))
+    latches;
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (name_of n)))
+    logic;
+  Buffer.add_char buf '\n';
+  (* combinational logic: SOP expressions *)
+  let literal n phase =
+    if phase then name_of n else "~" ^ name_of n
+  in
+  List.iter
+    (fun n ->
+      let cover = Network.cover_of n in
+      let fanins =
+        Array.map (fun f -> Network.node net f) n.Network.fanins
+      in
+      let cube_expr cube =
+        let lits = ref [] in
+        Array.iteri
+          (fun v l ->
+            match l with
+            | Logic.Cube.One -> lits := literal fanins.(v) true :: !lits
+            | Logic.Cube.Zero -> lits := literal fanins.(v) false :: !lits
+            | Logic.Cube.Both -> ())
+          cube;
+        match !lits with
+        | [] -> "1'b1"
+        | ls -> String.concat " & " (List.rev ls)
+      in
+      let expr =
+        match cover.Logic.Cover.cubes with
+        | [] -> "1'b0"
+        | cubes ->
+          String.concat " | "
+            (List.map (fun c -> "(" ^ cube_expr c ^ ")") cubes)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  assign %s = %s;\n" (name_of n) expr))
+    logic;
+  (* constants *)
+  List.iter
+    (fun n ->
+      match n.Network.kind with
+      | Network.Const b ->
+        Buffer.add_string buf
+          (Printf.sprintf "  wire %s;\n  assign %s = 1'b%d;\n" (name_of n)
+             (name_of n) (if b then 1 else 0))
+      | Network.Input | Network.Latch _ | Network.Logic _ -> ())
+    (Network.all_nodes net);
+  (* registers *)
+  if latches <> [] then begin
+    Buffer.add_string buf "\n  initial begin\n";
+    List.iter
+      (fun l ->
+        match Network.latch_init l with
+        | Network.I0 ->
+          Buffer.add_string buf
+            (Printf.sprintf "    %s = 1'b0;\n" (name_of l))
+        | Network.I1 ->
+          Buffer.add_string buf
+            (Printf.sprintf "    %s = 1'b1;\n" (name_of l))
+        | Network.Ix -> ())
+      latches;
+    Buffer.add_string buf "  end\n\n  always @(posedge clk) begin\n";
+    List.iter
+      (fun l ->
+        Buffer.add_string buf
+          (Printf.sprintf "    %s <= %s;\n" (name_of l)
+             (name_of (Network.latch_data net l))))
+      latches;
+    Buffer.add_string buf "  end\n"
+  end;
+  (* output bindings *)
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (po, driver) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  assign %s = %s;\n"
+           (sanitize ("po_" ^ po))
+           (name_of driver)))
+    outputs;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let write_file path net =
+  let oc = open_out path in
+  output_string oc (to_string net);
+  close_out oc

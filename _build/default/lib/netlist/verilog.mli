@@ -1,0 +1,11 @@
+(** Structural Verilog writer.
+
+    Emits a synthesizable module: one [assign] per logic node (sum-of-
+    products expression over its fanins), one [always @(posedge clk)] block
+    for the registers, and an [initial] block loading the declared initial
+    values ([x] initial values are left unassigned).  A [clk] port is added;
+    signal names are sanitized to Verilog identifiers. *)
+
+val to_string : Network.t -> string
+
+val write_file : string -> Network.t -> unit

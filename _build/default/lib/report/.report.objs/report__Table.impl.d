@@ -1,0 +1,1 @@
+lib/report/table.ml: Buffer Circuits Core List Printf String

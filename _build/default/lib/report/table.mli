@@ -1,0 +1,18 @@
+(** Rendering of Table I and per-row annotations. *)
+
+val header : string
+(** Column header lines matching the paper's Table I layout. *)
+
+val row_to_string : Core.Flow.row -> string
+
+val render : Core.Flow.row list -> string
+(** Full table plus footnote annotations (failures, guard events). *)
+
+val summary : Core.Flow.row list -> string
+(** Aggregate comparison: average ratios of the resynthesis flow vs. the
+    retiming flow (the paper's headline claim). *)
+
+val run_suite :
+  ?verify:bool -> ?resynth_options:Core.Resynth.options ->
+  ?names:string list -> unit -> Core.Flow.row list
+(** Run the three flows over the benchmark suite (all entries by default). *)

@@ -1,0 +1,1 @@
+lib/retiming/mcmf.ml: Array Fun List Queue

@@ -1,0 +1,1 @@
+lib/retiming/minarea.ml: Array Hashtbl List Moves Netlist Result Sta

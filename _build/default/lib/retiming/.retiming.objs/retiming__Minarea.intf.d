@@ -1,0 +1,1 @@
+lib/retiming/minarea.mli: Netlist Sta

@@ -1,0 +1,1 @@
+lib/retiming/minperiod.ml: Array Buffer Hashtbl List Moves Netlist Printf Queue Sta

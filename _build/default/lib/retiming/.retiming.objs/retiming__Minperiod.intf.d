@@ -1,0 +1,1 @@
+lib/retiming/minperiod.mli: Netlist Sta

@@ -1,0 +1,1 @@
+lib/retiming/minregister.ml: Array Hashtbl List Mcmf Minarea Minperiod Netlist

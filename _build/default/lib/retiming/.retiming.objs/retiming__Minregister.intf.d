@@ -1,0 +1,1 @@
+lib/retiming/minregister.mli: Minperiod Netlist Sta

@@ -1,0 +1,1 @@
+lib/retiming/moves.ml: Array Hashtbl List Logic Netlist Printf Sim

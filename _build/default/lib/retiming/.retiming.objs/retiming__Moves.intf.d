@@ -1,0 +1,1 @@
+lib/retiming/moves.mli: Netlist

@@ -1,0 +1,23 @@
+(** Minimum-cost flow by successive shortest augmenting paths (SPFA, so
+    negative arc costs are fine as long as there is no negative cycle).
+    Used by the exact min-register retiming: the LP dual of the
+    difference-constraint program is a transshipment problem, and the final
+    shortest-path labels are the optimal retiming labels. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes a flow network on nodes [0 .. n-1]. *)
+
+val add_edge : t -> src:int -> dst:int -> capacity:int -> cost:int -> unit
+
+val max_flow_min_cost : t -> source:int -> sink:int -> int * int
+(** Pushes as much flow as possible from [source] to [sink] at minimum cost;
+    returns [(flow, cost)]. *)
+
+val potentials : t -> int array
+(** Shortest-path labels by cost in the final residual network, computed
+    from a virtual all-nodes source (Bellman-Ford with all distances started
+    at 0), so every residual arc [u -> v] satisfies
+    [p.(v) <= p.(u) + cost].  Valid after {!max_flow_min_cost}; these are
+    optimal dual potentials of the underlying LP. *)

@@ -1,0 +1,99 @@
+module N = Netlist.Network
+
+(* Merge every class of sibling latches (same driver, same init). *)
+let merge_all_siblings net =
+  let merged = ref 0 in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun l ->
+      match N.node_opt net l.N.id with
+      | None -> ()
+      | Some l ->
+        if (not (Hashtbl.mem seen l.N.id)) && N.is_latch l then begin
+          let sibs =
+            Moves.siblings net l
+            |> List.filter (fun s -> N.latch_init s = N.latch_init l)
+          in
+          List.iter (fun s -> Hashtbl.replace seen s.N.id ()) sibs;
+          if List.length sibs > 1 then begin
+            match Moves.merge_siblings net sibs with
+            | Ok _ -> merged := !merged + List.length sibs - 1
+            | Error _ -> ()
+          end
+        end)
+    (N.latches net);
+  !merged
+
+(* A forward move across v is profitable when every distinct fanin latch of v
+   has v as its only consumer: k latches collapse into one. *)
+let forward_profit net v =
+  if not (Moves.is_forward_retimable net v) then 0
+  else begin
+    let distinct =
+      List.sort_uniq compare (Array.to_list v.N.fanins)
+      |> List.map (N.node net)
+    in
+    let all_private =
+      List.for_all
+        (fun l ->
+          (not (N.drives_output net l))
+          && List.for_all (fun c -> c = v.N.id) l.N.fanouts)
+        distinct
+    in
+    if all_private then List.length distinct - 1 else 0
+  end
+
+(* A backward move across v replaces its latched outputs by one latch per
+   distinct fanin. *)
+let backward_profit net v =
+  if not (Moves.is_backward_retimable net v) then 0
+  else begin
+    let outs = List.length (List.sort_uniq compare v.N.fanouts) in
+    let ins = List.length (List.sort_uniq compare (Array.to_list v.N.fanins)) in
+    outs - ins
+  end
+
+let minimize_registers net ~model ~max_period =
+  let eliminated = ref 0 in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let merges = merge_all_siblings net in
+    if merges > 0 then begin
+      eliminated := !eliminated + merges;
+      improved := true
+    end;
+    (* candidate moves, most profitable first; re-check profit as the network
+       changes under us *)
+    let try_move v =
+      match N.node_opt net v.N.id with
+      | None -> ()
+      | Some v ->
+        let fwd = forward_profit net v and bwd = backward_profit net v in
+        if fwd > 0 || bwd > 0 then begin
+          let before = N.copy net in
+          let latches_before = N.num_latches net in
+          let apply =
+            if fwd >= bwd then Moves.forward_across_node net v |> Result.map ignore
+            else Moves.backward_across_node net v |> Result.map ignore
+          in
+          match apply with
+          | Error _ -> ()
+          | Ok () ->
+            let period_ok =
+              Sta.clock_period net model <= max_period +. 1e-9
+            in
+            let gained = latches_before - N.num_latches net in
+            if period_ok && gained > 0 then begin
+              eliminated := !eliminated + gained;
+              improved := true
+            end
+            else begin
+              (* revert: restore from the snapshot *)
+              N.restore net before
+            end
+        end
+    in
+    List.iter try_move (N.logic_nodes net)
+  done;
+  !eliminated

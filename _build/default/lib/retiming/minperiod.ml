@@ -1,0 +1,434 @@
+module N = Netlist.Network
+
+type failure =
+  | Too_large of int
+  | Infeasible
+  | Init_state of string
+  | Stuck of string
+
+let failure_message = function
+  | Too_large n -> Printf.sprintf "retiming graph too large (%d vertices)" n
+  | Infeasible -> "no retiming achieves the target period"
+  | Init_state msg -> "initial state: " ^ msg
+  | Stuck msg -> "move sequencing stuck: " ^ msg
+
+(* --- retiming graph -------------------------------------------------------- *)
+
+type graph = {
+  nv : int;                          (* vertex count; vertex 0 is the host *)
+  delay : float array;               (* per vertex *)
+  edges : (int * int * int) list;    (* (u, v, weight) *)
+  node_of_vertex : int array;        (* vertex -> node id; -1 for host *)
+}
+
+(* Walk back through a latch chain; return (source node, latch count).
+   A pure register ring (latches forming a cycle with no logic) has no
+   combinational source: report [None] and let the caller treat the signal
+   as coming from the environment — its registers cannot be moved by any
+   retiming of logic vertices anyway. *)
+let chase net start count0 =
+  let rec go node count seen =
+    match node.N.kind with
+    | N.Latch _ ->
+      if List.mem node.N.id seen then (None, count)
+      else go (N.latch_data net node) (count + 1) (node.N.id :: seen)
+    | N.Input | N.Const _ | N.Logic _ -> (Some node, count)
+  in
+  go start count0 []
+
+let build_graph net model =
+  let logic = N.logic_nodes net in
+  let nv = List.length logic + 1 in
+  let vertex_of_node = Hashtbl.create 64 in
+  let node_of_vertex = Array.make nv (-1) in
+  List.iteri
+    (fun i n ->
+      Hashtbl.add vertex_of_node n.N.id (i + 1);
+      node_of_vertex.(i + 1) <- n.N.id)
+    logic;
+  let delay = Array.make nv 0.0 in
+  List.iter
+    (fun n -> delay.(Hashtbl.find vertex_of_node n.N.id) <- model n)
+    logic;
+  let edges = ref [] in
+  let vertex_of net_node =
+    match net_node.N.kind with
+    | N.Logic _ -> Hashtbl.find vertex_of_node net_node.N.id
+    | N.Input | N.Const _ -> 0
+    | N.Latch _ -> assert false
+  in
+  List.iter
+    (fun v ->
+      Array.iter
+        (fun fid ->
+          let source, w = chase net (N.node net fid) 0 in
+          let u =
+            match source with Some s -> vertex_of s | None -> 0
+          in
+          edges := (u, Hashtbl.find vertex_of_node v.N.id, w) :: !edges)
+        v.N.fanins)
+    logic;
+  (* primary outputs back to the host *)
+  List.iter
+    (fun (_, driver) ->
+      match chase net driver 0 with
+      | Some ({ N.kind = N.Logic _; _ } as source), w ->
+        edges := (vertex_of source, 0, w) :: !edges
+      | Some _, _ | None, _ -> ())
+    (N.outputs net);
+  { nv; delay; edges = !edges; node_of_vertex }
+
+(* --- W and D matrices ------------------------------------------------------ *)
+
+let big = max_int / 4
+
+(* Lexicographic shortest paths: W = min registers over paths, D = max delay
+   among minimum-register paths (delays of both endpoints included).  The
+   host (vertex 0) is never an intermediate vertex: a PO-to-PI hop through
+   the environment is not a combinational timing path, so it must not
+   generate period constraints. *)
+let wd_matrices g =
+  let w = Array.make_matrix g.nv g.nv big in
+  let d = Array.make_matrix g.nv g.nv neg_infinity in
+  List.iter
+    (fun (u, v, wt) ->
+      if wt < w.(u).(v) || (wt = w.(u).(v) && g.delay.(u) > d.(u).(v)) then begin
+        w.(u).(v) <- wt;
+        d.(u).(v) <- g.delay.(u)
+      end)
+    g.edges;
+  for k = 1 to g.nv - 1 do
+    for u = 0 to g.nv - 1 do
+      if w.(u).(k) < big then
+        for v = 0 to g.nv - 1 do
+          if w.(k).(v) < big then begin
+            let nw = w.(u).(k) + w.(k).(v) in
+            let nd = d.(u).(k) +. d.(k).(v) in
+            if nw < w.(u).(v) || (nw = w.(u).(v) && nd > d.(u).(v)) then begin
+              w.(u).(v) <- nw;
+              d.(u).(v) <- nd
+            end
+          end
+        done
+    done
+  done;
+  let dd = Array.make_matrix g.nv g.nv neg_infinity in
+  for u = 0 to g.nv - 1 do
+    for v = 0 to g.nv - 1 do
+      if w.(u).(v) < big then dd.(u).(v) <- d.(u).(v) +. g.delay.(v)
+    done
+  done;
+  (w, dd)
+
+(* Solve r(u) - r(v) <= c_{uv} by Bellman-Ford; None on negative cycle. *)
+let solve_constraints nv constraints =
+  let r = Array.make nv 0 in
+  let changed = ref true in
+  let iterations = ref 0 in
+  while !changed && !iterations <= nv + 2 do
+    changed := false;
+    incr iterations;
+    List.iter
+      (fun (u, v, c) ->
+        if r.(u) > r.(v) + c then begin
+          r.(u) <- r.(v) + c;
+          changed := true
+        end)
+      constraints
+  done;
+  if !changed then None
+  else begin
+    let shift = r.(0) in
+    Some (Array.map (fun x -> x - shift) r)
+  end
+
+let feasible_retiming g (w, d) target =
+  let constraints = ref [] in
+  List.iter (fun (u, v, wt) -> constraints := (u, v, wt) :: !constraints) g.edges;
+  for u = 0 to g.nv - 1 do
+    for v = 0 to g.nv - 1 do
+      if d.(u).(v) > target +. 1e-9 && w.(u).(v) < big then
+        constraints := (u, v, w.(u).(v) - 1) :: !constraints
+    done
+  done;
+  solve_constraints g.nv !constraints
+
+let candidate_periods g (_, d) =
+  let set = Hashtbl.create 64 in
+  for u = 0 to g.nv - 1 do
+    for v = 0 to g.nv - 1 do
+      if d.(u).(v) > neg_infinity then Hashtbl.replace set d.(u).(v) ()
+    done
+  done;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) set [])
+
+(* --- realization by atomic moves ------------------------------------------- *)
+
+let realize net g r =
+  (* remaining(v) > 0: v needs backward moves; < 0: forward moves *)
+  let remaining = Hashtbl.create 64 in
+  Array.iteri
+    (fun vertex node_id ->
+      if vertex > 0 && r.(vertex) <> 0 then
+        Hashtbl.replace remaining node_id r.(vertex))
+    g.node_of_vertex;
+  let node_ids = Hashtbl.fold (fun id _ acc -> id :: acc) remaining [] in
+  let total () = Hashtbl.fold (fun _ v acc -> acc + abs v) remaining 0 in
+  let budget = ref (4 * (total () + 1)) in
+  let result = ref (Ok ()) in
+  while total () > 0 && !result = Ok () && !budget > 0 do
+    decr budget;
+    let progress = ref false in
+    List.iter
+      (fun node_id ->
+        let count =
+          match Hashtbl.find_opt remaining node_id with Some c -> c | None -> 0
+        in
+        if !result = Ok () && count <> 0 then begin
+          match N.node_opt net node_id with
+          | None -> Hashtbl.replace remaining node_id 0
+          | Some v ->
+            if count < 0 && Moves.is_forward_retimable net v then begin
+              match Moves.forward_across_node net v with
+              | Ok _ ->
+                Hashtbl.replace remaining node_id (count + 1);
+                progress := true
+              | Error e -> result := Error (Stuck (Moves.error_message e))
+            end
+            else if count > 0 && Moves.is_backward_retimable net v then begin
+              match Moves.backward_across_node net v with
+              | Ok _ ->
+                Hashtbl.replace remaining node_id (count - 1);
+                progress := true
+              | Error (Moves.No_initial_state msg) ->
+                result := Error (Init_state msg)
+              | Error (Moves.Not_retimable msg) -> result := Error (Stuck msg)
+            end
+        end)
+      node_ids;
+    if (not !progress) && total () > 0 && !result = Ok () then
+      result := Error (Stuck "no applicable atomic move")
+  done;
+  if !result = Ok () && total () > 0 then Error (Stuck "budget exhausted")
+  else (match !result with Ok () -> Ok () | Error e -> Error e)
+
+(* --- FEAS: the iterative feasibility algorithm -------------------------------- *)
+
+(* FEAS(c): starting from r = 0, repeat |V| times: compute the combinational
+   arrival times of the retimed graph (edges with w_r = 0 are wires) and
+   increment r(v) for every vertex whose arrival exceeds c; c is feasible
+   iff no violation remains.  The host's label stays 0. *)
+let feas_feasible g target =
+  let r = Array.make g.nv 0 in
+  let arrivals () =
+    (* longest-path over the 0-weight subgraph; None on a 0-weight cycle *)
+    let adj = Array.make g.nv [] in
+    let indeg = Array.make g.nv 0 in
+    List.iter
+      (fun (u, v, w) ->
+        (* exactly-zero retimed weight = a wire; transiently negative
+           weights are neither wires nor registers and are ignored here.
+           The host never propagates arrivals (a PO-to-PI hop through the
+           environment is not a combinational path): its outgoing wires
+           contribute nothing beyond each gate's own delay, which the
+           initialization covers. *)
+        let wr = w + r.(v) - r.(u) in
+        if wr = 0 && u <> v && u <> 0 then begin
+          adj.(u) <- v :: adj.(u);
+          indeg.(v) <- indeg.(v) + 1
+        end)
+      g.edges;
+    let arrival = Array.copy g.delay in
+    let queue = Queue.create () in
+    for v = 0 to g.nv - 1 do
+      if indeg.(v) = 0 then Queue.push v queue
+    done;
+    let processed = ref 0 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      incr processed;
+      List.iter
+        (fun v ->
+          if arrival.(u) +. g.delay.(v) > arrival.(v) then
+            arrival.(v) <- arrival.(u) +. g.delay.(v);
+          indeg.(v) <- indeg.(v) - 1;
+          if indeg.(v) = 0 then Queue.push v queue)
+        adj.(u)
+    done;
+    if !processed < g.nv then None else Some arrival
+  in
+  (* The host is incrementable like any vertex: retimings only depend on
+     label differences, so a host increment is a global decrement in
+     disguise; labels are renormalized by the caller via r(v) - r(host). *)
+  (* With the host participating, convergence can need more than the
+     classical |V| - 1 rounds (each host increment re-normalizes the whole
+     labeling); a quadratic bound is still cheap at our sizes. *)
+  let rec iterate k =
+    if k > (g.nv * g.nv) + 8 then false
+    else
+      match arrivals () with
+      | None -> false (* a combinational (0-weight) cycle: infeasible here *)
+      | Some arrival ->
+        let violated = Array.make g.nv false in
+        for v = 0 to g.nv - 1 do
+          if arrival.(v) > target +. 1e-9 then violated.(v) <- true
+        done;
+        (* a negative retimed weight is a legality violation of the head
+           vertex: incrementing it is the Bellman-Ford relaxation of the
+           edge constraint r(v) >= r(u) - w *)
+        List.iter
+          (fun (u, v, w) -> if w + r.(v) - r.(u) < 0 then violated.(v) <- true)
+          g.edges;
+        let any = ref false in
+        Array.iteri
+          (fun v bad ->
+            if bad then begin
+              r.(v) <- r.(v) + 1;
+              any := true
+            end)
+          violated;
+        if not !any then
+          List.for_all (fun (u, v, w) -> w + r.(v) - r.(u) >= 0) g.edges
+        else iterate (k + 1)
+  in
+  iterate 0
+
+let min_feasible_period_feas ?(max_vertices = 1200) net model =
+  let g = build_graph net model in
+  if g.nv > max_vertices then Error (Too_large g.nv)
+  else begin
+    let wd = wd_matrices g in
+    let candidates = Array.of_list (candidate_periods g wd) in
+    if Array.length candidates = 0 then Ok 0.0
+    else begin
+      let feasible i = feas_feasible g candidates.(i) in
+      let n = Array.length candidates in
+      if not (feasible (n - 1)) then Error Infeasible
+      else begin
+        let lo = ref 0 and hi = ref (n - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if feasible mid then hi := mid else lo := mid + 1
+        done;
+        Ok candidates.(!lo)
+      end
+    end
+  end
+
+(* --- public entry points ---------------------------------------------------- *)
+
+let retime_with g wd net target =
+  match feasible_retiming g wd target with
+  | None -> Error Infeasible
+  | Some r ->
+    (* The copied network has identical node ids, so the graph tables remain
+       valid for it. *)
+    let copy = N.copy net in
+    (match realize copy g r with
+     | Ok () ->
+       N.sweep copy;
+       Ok copy
+     | Error e -> Error e)
+
+let min_feasible_period ?(max_vertices = 1200) net model =
+  let g = build_graph net model in
+  if g.nv > max_vertices then Error (Too_large g.nv)
+  else begin
+    let wd = wd_matrices g in
+    let candidates = Array.of_list (candidate_periods g wd) in
+    if Array.length candidates = 0 then Ok 0.0
+    else begin
+      let feasible c = feasible_retiming g wd c <> None in
+      let lo = ref 0 and hi = ref (Array.length candidates - 1) in
+      if not (feasible candidates.(!hi)) then Error Infeasible
+      else begin
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if feasible candidates.(mid) then hi := mid else lo := mid + 1
+        done;
+        Ok candidates.(!lo)
+      end
+    end
+  end
+
+let retime ?(max_vertices = 1200) net ~model ~target =
+  let g = build_graph net model in
+  if g.nv > max_vertices then Error (Too_large g.nv)
+  else retime_with g (wd_matrices g) net target
+
+let retime_min_period ?(max_vertices = 1200) net ~model =
+  let g = build_graph net model in
+  if g.nv > max_vertices then Error (Too_large g.nv)
+  else begin
+    let wd = wd_matrices g in
+    let candidates =
+      Array.of_list
+        (List.filter
+           (fun c -> c < Sta.clock_period net model -. 1e-9)
+           (candidate_periods g wd))
+    in
+    let n = Array.length candidates in
+    if n = 0 then Error Infeasible
+    else begin
+      (* binary-search the smallest graph-feasible candidate, then walk
+         upward until one is also realizable (initial states computable) *)
+      let feasible i = feasible_retiming g wd candidates.(i) <> None in
+      if not (feasible (n - 1)) then Error Infeasible
+      else begin
+        let lo = ref 0 and hi = ref (n - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if feasible mid then hi := mid else lo := mid + 1
+        done;
+        let rec walk_up i =
+          if i >= n then Error Infeasible
+          else
+            match retime_with g wd net candidates.(i) with
+            | Ok net' -> Ok (net', candidates.(i))
+            | Error (Init_state _ | Stuck _ | Infeasible) -> walk_up (i + 1)
+            | Error (Too_large _) as e -> e
+        in
+        walk_up !lo
+      end
+    end
+  end
+
+module Internal = struct
+  type nonrec graph = graph = {
+    nv : int;
+    delay : float array;
+    edges : (int * int * int) list;
+    node_of_vertex : int array;
+  }
+
+  let build_graph = build_graph
+  let wd_matrices = wd_matrices
+  let realize = realize
+end
+
+module Debug = struct
+  let dump net model =
+    let g = build_graph net model in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "nv=%d\n" g.nv);
+    Array.iteri
+      (fun v id -> Buffer.add_string buf (Printf.sprintf "vertex %d = node %d (d=%.1f)\n" v id g.delay.(v)))
+      g.node_of_vertex;
+    List.iter
+      (fun (u, v, w) -> Buffer.add_string buf (Printf.sprintf "edge %d -> %d w=%d\n" u v w))
+      g.edges;
+    let w, d = wd_matrices g in
+    for u = 0 to g.nv - 1 do
+      for v = 0 to g.nv - 1 do
+        if w.(u).(v) < big then
+          Buffer.add_string buf (Printf.sprintf "W(%d,%d)=%d D=%.1f\n" u v w.(u).(v) d.(u).(v))
+      done
+    done;
+    List.iter
+      (fun c ->
+        Buffer.add_string buf
+          (Printf.sprintf "candidate %.1f feasible=%b\n" c
+             (feasible_retiming g (w, d) c <> None)))
+      (candidate_periods g (w, d));
+    Buffer.contents buf
+end

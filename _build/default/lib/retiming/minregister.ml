@@ -1,0 +1,134 @@
+module N = Netlist.Network
+module G = Minperiod.Internal
+
+let big = max_int / 4
+
+(* Exact min-register retiming with register sharing along fanout stems,
+   via the Leiserson-Saxe mirror-vertex construction:
+
+   For each vertex [u] with fanout edges (v_i, w_i) and w^ = max w_i, add a
+   mirror vertex m_u with constraint edges
+       r(u)   - r(m_u) <= w^          (the costed edge)
+       r(v_i) - r(m_u) <= w^ - w_i
+   so that, at the optimum, w^ + r(m_u) - r(u) = max_i (w_i + r(v_i) - r(u))
+   = the number of registers the retimed net needs with sharing.  The
+   objective sums exactly the costed mirror edges; legality and period
+   constraints live on the original edges.
+
+   The LP dual of this difference-constraint program is a transshipment
+   problem solved by min-cost flow; the optimal retiming labels are the
+   negated potentials of the final residual network. *)
+let min_registers ?(max_vertices = 400) ?target_period net ~model =
+  let g = G.build_graph net model in
+  if g.G.nv > max_vertices then Error (Minperiod.Too_large g.G.nv)
+  else begin
+    (* group fanout edges by source *)
+    let by_source = Hashtbl.create 64 in
+    List.iter
+      (fun (u, v, w) ->
+        let existing =
+          match Hashtbl.find_opt by_source u with Some l -> l | None -> []
+        in
+        Hashtbl.replace by_source u ((v, w) :: existing))
+      g.G.edges;
+    let sources =
+      List.sort compare (Hashtbl.fold (fun u _ acc -> u :: acc) by_source [])
+    in
+    let mirror = Hashtbl.create 64 in
+    List.iteri (fun i u -> Hashtbl.add mirror u (g.G.nv + i)) sources;
+    let total_vertices = g.G.nv + List.length sources in
+    (* constraints (x, y, bound) meaning r(x) - r(y) <= bound *)
+    let constraints = ref [] in
+    List.iter (fun (u, v, w) -> constraints := (u, v, w) :: !constraints) g.G.edges;
+    (match target_period with
+     | None -> ()
+     | Some period ->
+       let w, d = G.wd_matrices g in
+       for u = 0 to g.G.nv - 1 do
+         for v = 0 to g.G.nv - 1 do
+           if d.(u).(v) > period +. 1e-9 && w.(u).(v) < big then
+             constraints := (u, v, w.(u).(v) - 1) :: !constraints
+         done
+       done);
+    (* mirror constraints and the costed edges *)
+    let costed = ref [] in
+    List.iter
+      (fun u ->
+        let fanouts = Hashtbl.find by_source u in
+        let w_hat = List.fold_left (fun acc (_, w) -> max acc w) 0 fanouts in
+        let m = Hashtbl.find mirror u in
+        constraints := (u, m, w_hat) :: !constraints;
+        List.iter
+          (fun (v, w) -> constraints := (v, m, w_hat - w) :: !constraints)
+          fanouts;
+        costed := (u, m) :: !costed)
+      sources;
+    (* feasibility: Bellman-Ford on the constraint system *)
+    let feasible =
+      let r = Array.make total_vertices 0 in
+      let changed = ref true and iterations = ref 0 in
+      while !changed && !iterations <= total_vertices + 2 do
+        changed := false;
+        incr iterations;
+        List.iter
+          (fun (u, v, c) ->
+            if r.(u) > r.(v) + c then begin
+              r.(u) <- r.(v) + c;
+              changed := true
+            end)
+          !constraints
+      done;
+      not !changed
+    in
+    if not feasible then Error Minperiod.Infeasible
+    else begin
+      (* Objective coefficients: +1 on r(m), -1 on r(u) per costed edge.
+         The dual transshipment requires out-minus-in flow = -coefficient,
+         so each u is a unit source and each m a unit sink. *)
+      let divergence = Array.make total_vertices 0 in
+      List.iter
+        (fun (u, m) ->
+          divergence.(u) <- divergence.(u) + 1;
+          divergence.(m) <- divergence.(m) - 1)
+        !costed;
+      let source = total_vertices and sink = total_vertices + 1 in
+      let flow = Mcmf.create (total_vertices + 2) in
+      List.iter
+        (fun (u, v, bound) ->
+          Mcmf.add_edge flow ~src:u ~dst:v ~capacity:big ~cost:bound)
+        !constraints;
+      Array.iteri
+        (fun v a ->
+          if a > 0 then Mcmf.add_edge flow ~src:source ~dst:v ~capacity:a ~cost:0
+          else if a < 0 then
+            Mcmf.add_edge flow ~src:v ~dst:sink ~capacity:(-a) ~cost:0)
+        divergence;
+      let pushed, _ = Mcmf.max_flow_min_cost flow ~source ~sink in
+      let supply =
+        Array.fold_left (fun acc a -> if a > 0 then acc + a else acc) 0 divergence
+      in
+      if pushed < supply then Error Minperiod.Infeasible
+      else begin
+        let potentials = Mcmf.potentials flow in
+        let r =
+          Array.init g.G.nv (fun v -> -potentials.(v) + potentials.(0))
+        in
+        let copy = N.copy net in
+        match G.realize copy g r with
+        | Error e -> Error e
+        | Ok () ->
+          N.sweep copy;
+          (* recover fanout-stem register sharing structurally *)
+          ignore (Minarea.merge_all_siblings copy);
+          (* The realization can exceed the model optimum when backward
+             moves choose initial-state preimages that keep siblings from
+             merging; never return something worse than the input with its
+             own siblings merged. *)
+          let baseline = N.copy net in
+          ignore (Minarea.merge_all_siblings baseline);
+          if N.num_latches copy <= N.num_latches baseline then
+            Ok (copy, N.num_latches copy)
+          else Ok (baseline, N.num_latches baseline)
+      end
+    end
+  end

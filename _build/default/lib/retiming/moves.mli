@@ -1,0 +1,52 @@
+(** Atomic retiming moves on a network, with initial-state computation.
+
+    Conventions follow the paper's Section II: forward retiming moves
+    registers from the input edges to the output edge of a node (initial
+    state [f(inits)]); backward retiming is the reverse and requires a
+    preimage of the register's initial state under the node function.
+    Retiming across a fanout stem replicates or merges registers. *)
+
+type error =
+  | Not_retimable of string
+  | No_initial_state of string
+
+val error_message : error -> string
+
+val is_forward_retimable : Netlist.Network.t -> Netlist.Network.node -> bool
+(** A logic node is forward-retimable when it has at least one fanin and
+    every fanin is a latch. *)
+
+val is_backward_retimable : Netlist.Network.t -> Netlist.Network.node -> bool
+(** A logic node is backward-retimable when it has at least one consumer,
+    every consumer is a latch, it drives no primary output, and all consumer
+    latches agree on their initial value. *)
+
+val forward_across_node :
+  Netlist.Network.t -> Netlist.Network.node ->
+  (Netlist.Network.node, error) result
+(** Forward-retime the registers at the node's inputs to its output.
+    Returns the new latch.  Fanin latches shared with other consumers are
+    bypassed, not destroyed; latches left without consumers are deleted. *)
+
+val backward_across_node :
+  Netlist.Network.t -> Netlist.Network.node ->
+  (Netlist.Network.node list, error) result
+(** Backward-retime the registers at the node's outputs to its inputs
+    (one latch per distinct fanin).  Fails when no input assignment maps to
+    the required initial value under the node function. *)
+
+val split_stem :
+  Netlist.Network.t -> Netlist.Network.node -> Netlist.Network.node list
+(** Forward retiming across a fanout stem: replicate a multiple-fanout latch
+    so that each fanout edge gets a private copy with the same data input and
+    the same initial value.  Returns all copies (the original serves the
+    first edge).  Single-fanout latches are returned unchanged. *)
+
+val merge_siblings :
+  Netlist.Network.t -> Netlist.Network.node list ->
+  (Netlist.Network.node, error) result
+(** Backward retiming across a fanout stem: merge latches that share a data
+    input and an initial value into the first of them. *)
+
+val siblings : Netlist.Network.t -> Netlist.Network.node -> Netlist.Network.node list
+(** All latches sharing this latch's data input (including itself). *)

@@ -1,0 +1,346 @@
+(* Internal literal encoding: lit = 2*var + (1 if negated).  [neg l] flips the
+   low bit.  Clauses are int arrays of internal literals; the first two
+   positions are the watched literals. *)
+
+type result =
+  | Sat of bool array
+  | Unsat
+  | Unknown
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : int array array;
+  mutable nclauses : int;
+  mutable watches : int list array;      (* per internal literal *)
+  mutable assign : int array;            (* per var: -1 unset, 0 false, 1 true *)
+  mutable level : int array;             (* per var *)
+  mutable reason : int array;            (* per var: clause index or -1 *)
+  mutable activity : float array;
+  mutable phase : bool array;            (* phase saving *)
+  mutable trail : int array;             (* internal literals *)
+  mutable trail_size : int;
+  mutable trail_lim : int list;          (* stack of trail sizes at decisions *)
+  mutable var_inc : float;
+  mutable empty_clause : bool;
+}
+
+let lit_of_dimacs d =
+  assert (d <> 0);
+  if d > 0 then 2 * (d - 1) else (2 * (-d - 1)) + 1
+
+let var_of_lit l = l lsr 1
+let is_neg l = l land 1 = 1
+let neg l = l lxor 1
+
+let create () =
+  { nvars = 0;
+    clauses = Array.make 64 [||];
+    nclauses = 0;
+    watches = Array.make 16 [];
+    assign = Array.make 8 (-1);
+    level = Array.make 8 0;
+    reason = Array.make 8 (-1);
+    activity = Array.make 8 0.0;
+    phase = Array.make 8 false;
+    trail = Array.make 8 0;
+    trail_size = 0;
+    trail_lim = [];
+    var_inc = 1.0;
+    empty_clause = false }
+
+let grow_arrays s =
+  let cap = Array.length s.assign in
+  let resize a fill =
+    let b = Array.make (2 * cap) fill in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  s.assign <- resize s.assign (-1);
+  s.level <- resize s.level 0;
+  s.reason <- resize s.reason (-1);
+  s.activity <- resize s.activity 0.0;
+  s.phase <- resize s.phase false;
+  s.trail <- resize s.trail 0;
+  let wb = Array.make (4 * cap) [] in
+  Array.blit s.watches 0 wb 0 (Array.length s.watches);
+  s.watches <- wb
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  if s.nvars > Array.length s.assign then grow_arrays s;
+  v
+
+let nvars s = s.nvars
+
+let value_of_lit s l =
+  let a = s.assign.(var_of_lit l) in
+  if a < 0 then -1 else if is_neg l then 1 - a else a
+
+let enqueue s l reason =
+  let v = var_of_lit l in
+  s.assign.(v) <- (if is_neg l then 0 else 1);
+  s.level.(v) <- List.length s.trail_lim;
+  s.reason.(v) <- reason;
+  s.trail.(s.trail_size) <- l;
+  s.trail_size <- s.trail_size + 1
+
+let add_clause_internal s lits =
+  match lits with
+  | [||] -> s.empty_clause <- true; -1
+  | _ ->
+    if s.nclauses >= Array.length s.clauses then begin
+      let b = Array.make (2 * Array.length s.clauses) [||] in
+      Array.blit s.clauses 0 b 0 s.nclauses;
+      s.clauses <- b
+    end;
+    let idx = s.nclauses in
+    s.clauses.(idx) <- lits;
+    s.nclauses <- idx + 1;
+    if Array.length lits >= 2 then begin
+      s.watches.(lits.(0)) <- idx :: s.watches.(lits.(0));
+      s.watches.(lits.(1)) <- idx :: s.watches.(lits.(1))
+    end;
+    idx
+
+let add_clause s dimacs =
+  (* Simplify: drop duplicate literals; detect tautologies. *)
+  let lits = List.map lit_of_dimacs dimacs in
+  let lits = List.sort_uniq compare lits in
+  let tautology = List.exists (fun l -> List.mem (neg l) lits) lits in
+  if not tautology then begin
+    List.iter (fun l -> assert (var_of_lit l < s.nvars)) lits;
+    match lits with
+    | [] -> s.empty_clause <- true
+    | [ l ] ->
+      (* Unit clauses are asserted at level 0 rather than watched. *)
+      assert (s.trail_lim = []);
+      (match value_of_lit s l with
+       | 1 -> ()
+       | 0 -> s.empty_clause <- true
+       | _ -> enqueue s l (-1))
+    | _ :: _ :: _ -> ignore (add_clause_internal s (Array.of_list lits))
+  end
+
+(* Unit propagation over the watched-literal scheme.  Returns the index of a
+   conflicting clause or -1. *)
+let propagate s qhead =
+  let conflict = ref (-1) in
+  let q = ref qhead in
+  while !conflict < 0 && !q < s.trail_size do
+    let l = s.trail.(!q) in
+    incr q;
+    let falsified = neg l in
+    let old_watchers = s.watches.(falsified) in
+    s.watches.(falsified) <- [];
+    let rec process = function
+      | [] -> ()
+      | ci :: rest ->
+        if !conflict >= 0 then
+          (* conflict found: keep remaining watchers untouched *)
+          s.watches.(falsified) <- ci :: rest @ s.watches.(falsified)
+        else begin
+          let c = s.clauses.(ci) in
+          (* Ensure the falsified literal is at position 1. *)
+          if c.(0) = falsified then begin
+            c.(0) <- c.(1);
+            c.(1) <- falsified
+          end;
+          if value_of_lit s c.(0) = 1 then begin
+            (* clause already satisfied; keep watching *)
+            s.watches.(falsified) <- ci :: s.watches.(falsified);
+            process rest
+          end
+          else begin
+            (* look for a new watch *)
+            let n = Array.length c in
+            let rec find i =
+              if i >= n then -1
+              else if value_of_lit s c.(i) <> 0 then i
+              else find (i + 1)
+            in
+            let i = find 2 in
+            if i >= 0 then begin
+              let w = c.(i) in
+              c.(i) <- c.(1);
+              c.(1) <- w;
+              s.watches.(w) <- ci :: s.watches.(w);
+              process rest
+            end
+            else begin
+              (* unit or conflict *)
+              s.watches.(falsified) <- ci :: s.watches.(falsified);
+              match value_of_lit s c.(0) with
+              | -1 -> enqueue s c.(0) ci; process rest
+              | 0 -> conflict := ci; process rest
+              | _ -> process rest
+            end
+          end
+        end
+    in
+    process old_watchers
+  done;
+  (!conflict, !q)
+
+let bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end
+
+(* First-UIP conflict analysis.  Returns (learned clause, backjump level). *)
+let analyze s conflict_clause =
+  let current_level = List.length s.trail_lim in
+  let seen = Array.make s.nvars false in
+  let learned = ref [] in
+  let counter = ref 0 in
+  let asserting = ref (-1) in
+  let index = ref (s.trail_size - 1) in
+  let handle_reason lits skip_lit =
+    Array.iter
+      (fun l ->
+        if l <> skip_lit then begin
+          let v = var_of_lit l in
+          if (not seen.(v)) && s.level.(v) > 0 then begin
+            seen.(v) <- true;
+            bump s v;
+            if s.level.(v) >= current_level then incr counter
+            else learned := l :: !learned
+          end
+        end)
+      lits
+  in
+  handle_reason s.clauses.(conflict_clause) (-1);
+  let continue = ref true in
+  while !continue do
+    (* find next seen literal on the trail *)
+    while not seen.(var_of_lit s.trail.(!index)) do decr index done;
+    let l = s.trail.(!index) in
+    let v = var_of_lit l in
+    seen.(v) <- false;
+    decr counter;
+    if !counter = 0 then begin
+      asserting := neg l;
+      continue := false
+    end
+    else begin
+      let r = s.reason.(v) in
+      assert (r >= 0);
+      handle_reason s.clauses.(r) l;
+      decr index
+    end
+  done;
+  let learned_lits = !asserting :: !learned in
+  let backjump =
+    List.fold_left
+      (fun acc l ->
+        if l = !asserting then acc else max acc s.level.(var_of_lit l))
+      0 !learned
+  in
+  (Array.of_list learned_lits, backjump)
+
+let backtrack s target_level =
+  let rec pop_levels lims =
+    match lims with
+    | [] -> []
+    | limit :: rest ->
+      if List.length lims > target_level then begin
+        (* undo assignments above this limit *)
+        while s.trail_size > limit do
+          s.trail_size <- s.trail_size - 1;
+          let l = s.trail.(s.trail_size) in
+          let v = var_of_lit l in
+          s.phase.(v) <- s.assign.(v) = 1;
+          s.assign.(v) <- -1;
+          s.reason.(v) <- -1
+        done;
+        pop_levels rest
+      end
+      else lims
+  in
+  s.trail_lim <- pop_levels s.trail_lim
+
+let pick_branch s =
+  let best = ref (-1) and best_act = ref neg_infinity in
+  for v = 0 to s.nvars - 1 do
+    if s.assign.(v) < 0 && s.activity.(v) > !best_act then begin
+      best := v;
+      best_act := s.activity.(v)
+    end
+  done;
+  !best
+
+let solve ?(conflict_limit = 200_000) ?(assumptions = []) s =
+  if s.empty_clause then Unsat
+  else begin
+    (* Reset to level 0. *)
+    backtrack s 0;
+    let conflicts = ref 0 in
+    let qhead = ref 0 in
+    let result = ref None in
+    let assumption_lits = List.map lit_of_dimacs assumptions in
+    (try
+       while !result = None do
+         let conflict, q = propagate s !qhead in
+         qhead := q;
+         if conflict >= 0 then begin
+           incr conflicts;
+           if !conflicts > conflict_limit then result := Some Unknown
+           else if List.length s.trail_lim = 0 then result := Some Unsat
+           else begin
+             let learned, backjump = analyze s conflict in
+             backtrack s backjump;
+             qhead := s.trail_size;
+             s.var_inc <- s.var_inc /. 0.95;
+             if Array.length learned = 1 then begin
+               if value_of_lit s learned.(0) = 0 then result := Some Unsat
+               else if value_of_lit s learned.(0) = -1 then
+                 enqueue s learned.(0) (-1)
+             end
+             else begin
+               (* position the asserting literal and a highest-level literal
+                  in the watch slots *)
+               let best = ref 1 in
+               for i = 2 to Array.length learned - 1 do
+                 if s.level.(var_of_lit learned.(i))
+                    > s.level.(var_of_lit learned.(!best))
+                 then best := i
+               done;
+               let w = learned.(1) in
+               learned.(1) <- learned.(!best);
+               learned.(!best) <- w;
+               let ci = add_clause_internal s learned in
+               enqueue s learned.(0) ci
+             end
+           end
+         end
+         else begin
+           (* decide: first pending assumption, else activity *)
+           let pending =
+             List.find_opt (fun l -> value_of_lit s l <> 1) assumption_lits
+           in
+           match pending with
+           | Some l when value_of_lit s l = 0 -> result := Some Unsat
+           | Some l ->
+             s.trail_lim <- s.trail_size :: s.trail_lim;
+             enqueue s l (-1)
+           | None ->
+             let v = pick_branch s in
+             if v < 0 then begin
+               let model = Array.init s.nvars (fun i -> s.assign.(i) = 1) in
+               result := Some (Sat model)
+             end
+             else begin
+               s.trail_lim <- s.trail_size :: s.trail_lim;
+               let l = if s.phase.(v) then 2 * v else (2 * v) + 1 in
+               enqueue s l (-1)
+             end
+         end
+       done
+     with Stack_overflow -> result := Some Unknown);
+    backtrack s 0;
+    match !result with Some r -> r | None -> Unknown
+  end

@@ -1,0 +1,28 @@
+(** A small CDCL SAT solver (two-watched literals, 1-UIP learning, VSIDS-like
+    activities).  Used for combinational equivalence checking of netlist
+    cones via Tseitin encoding.
+
+    Literals use the DIMACS convention: variable [v] (0-based) appears
+    positively as [v + 1] and negatively as [-(v + 1)]. *)
+
+type t
+
+type result =
+  | Sat of bool array  (** model indexed by variable *)
+  | Unsat
+  | Unknown  (** conflict budget exhausted *)
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable; returns its 0-based index. *)
+
+val nvars : t -> int
+
+val add_clause : t -> int list -> unit
+(** Add a clause of DIMACS literals.  Adding the empty clause makes the
+    instance trivially unsatisfiable. *)
+
+val solve : ?conflict_limit:int -> ?assumptions:int list -> t -> result
+(** Solve under optional assumptions.  The solver can be reused: learned
+    clauses persist, assumptions do not. *)

@@ -1,0 +1,1 @@
+lib/sim/equiv.ml: Array Bdd Fun Hashtbl List Logic Netlist Random Sat_lite Simulate

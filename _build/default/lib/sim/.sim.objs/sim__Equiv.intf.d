@@ -1,0 +1,1 @@
+lib/sim/equiv.mli: Netlist Sat_lite

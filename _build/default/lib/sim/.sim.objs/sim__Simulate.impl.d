@@ -1,0 +1,1 @@
+lib/sim/simulate.ml: Array List Logic Netlist Printf Random

@@ -1,0 +1,1 @@
+lib/sim/simulate.mli: Netlist

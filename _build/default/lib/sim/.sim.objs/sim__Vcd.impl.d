@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Array Buffer Char List Netlist Printf Simulate String

@@ -1,0 +1,51 @@
+(** Sequential simulation of networks: 2-valued and conservative 3-valued. *)
+
+type tri = T0 | T1 | Tx
+
+val tri_of_bool : bool -> tri
+val tri_equal : tri -> tri -> bool
+
+type state = (int * bool) list
+(** Latch node id -> current value. *)
+
+type tri_state = (int * tri) list
+
+val initial_state : Netlist.Network.t -> tri_state
+(** From the declared latch initial values ([Ix] maps to [Tx]). *)
+
+val binary_initial_state : Netlist.Network.t -> state
+(** Requires every latch to have a binary initial value; raises [Failure]
+    otherwise. *)
+
+val eval_all : Netlist.Network.t -> pi:(string -> bool) -> state:state -> bool array
+(** Combinational values of every node id for one cycle (latch positions hold
+    the current state). *)
+
+val step :
+  Netlist.Network.t -> pi:(string -> bool) -> state:state -> state * (string * bool) list
+(** One clock cycle: returns the next state and the primary output values. *)
+
+val run :
+  Netlist.Network.t ->
+  state ->
+  (string -> bool) list ->
+  state * (string * bool) list list
+(** Apply a sequence of input vectors; returns final state and per-cycle
+    outputs. *)
+
+val eval_all3 :
+  Netlist.Network.t -> pi:(string -> tri) -> state:tri_state -> tri array
+(** Conservative 3-valued evaluation. *)
+
+val step3 :
+  Netlist.Network.t ->
+  pi:(string -> tri) ->
+  state:tri_state ->
+  tri_state * (string * tri) list
+
+val synchronizing_sequence :
+  ?max_len:int -> ?attempts:int -> seed:int -> Netlist.Network.t ->
+  (string -> bool) list option
+(** Search (randomly, structurally — by 3-valued simulation from the all-X
+    state) for an input sequence that drives every latch to a binary value.
+    Returns the sequence of input vectors when found. *)

@@ -1,0 +1,59 @@
+module N = Netlist.Network
+
+(* VCD identifier codes: printable ASCII starting at '!' *)
+let code i =
+  let base = 94 and start = 33 in
+  let rec go i acc =
+    let acc = String.make 1 (Char.chr (start + (i mod base))) ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let dump ?(timescale = "1ns") net ~vectors =
+  let buf = Buffer.create 2048 in
+  let signals =
+    List.map (fun n -> (n.N.name, `Input n)) (N.inputs net)
+    @ List.map (fun l -> (l.N.name, `Latch l)) (N.latches net)
+    @ List.map (fun (po, d) -> (po, `Output d)) (N.outputs net)
+  in
+  Buffer.add_string buf "$date generated $end\n";
+  Buffer.add_string buf
+    (Printf.sprintf "$timescale %s $end\n$scope module %s $end\n" timescale
+       (N.model_name net));
+  List.iteri
+    (fun i (name, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire 1 %s %s $end\n" (code i) name))
+    signals;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  let previous = Array.make (List.length signals) None in
+  let state = ref (Simulate.binary_initial_state net) in
+  List.iteri
+    (fun t pi ->
+      let values = Simulate.eval_all net ~pi:(fun name -> pi name) ~state:!state in
+      Buffer.add_string buf (Printf.sprintf "#%d\n" t);
+      List.iteri
+        (fun i (_, kind) ->
+          let v =
+            match kind with
+            | `Input n -> values.(n.N.id)
+            | `Latch l -> values.(l.N.id)
+            | `Output d -> values.(d.N.id)
+          in
+          if previous.(i) <> Some v then begin
+            Buffer.add_string buf
+              (Printf.sprintf "%d%s\n" (if v then 1 else 0) (code i));
+            previous.(i) <- Some v
+          end)
+        signals;
+      (* advance the clock *)
+      let next, _ = Simulate.step net ~pi ~state:!state in
+      state := next)
+    vectors;
+  Buffer.add_string buf (Printf.sprintf "#%d\n" (List.length vectors));
+  Buffer.contents buf
+
+let write_file ?timescale path net ~vectors =
+  let oc = open_out path in
+  output_string oc (dump ?timescale net ~vectors);
+  close_out oc

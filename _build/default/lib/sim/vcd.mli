@@ -1,0 +1,14 @@
+(** VCD (value-change-dump) waveform writer driven by the 2-valued
+    simulator: apply a sequence of input vectors from the initial state and
+    record every primary input, register and primary output. *)
+
+val dump :
+  ?timescale:string ->
+  Netlist.Network.t ->
+  vectors:(string -> bool) list ->
+  string
+(** One VCD timestep per clock cycle.  Requires binary initial values. *)
+
+val write_file :
+  ?timescale:string ->
+  string -> Netlist.Network.t -> vectors:(string -> bool) list -> unit

@@ -1,0 +1,1 @@
+lib/synth_opt/extract.ml: Array Fun Hashtbl List Logic Netlist Printf String

@@ -1,0 +1,1 @@
+lib/synth_opt/redundancy.ml: List Logic Netlist Sim

@@ -1,0 +1,1 @@
+lib/synth_opt/script.ml: Array Extract Hashtbl List Logic Netlist Techmap

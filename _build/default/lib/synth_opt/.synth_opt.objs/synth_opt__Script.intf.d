@@ -1,0 +1,1 @@
+lib/synth_opt/script.mli: Netlist Techmap

@@ -1,0 +1,212 @@
+module N = Netlist.Network
+
+(* A divisor independent of any node's local variable numbering: cubes as
+   sorted (fanin node id, phase) literal lists. *)
+type global_cube = (int * Logic.Cube.lit) list
+
+type global_divisor = global_cube list
+
+let global_of_cover net n (cover : Logic.Cover.t) : global_divisor =
+  ignore net;
+  List.map
+    (fun cube ->
+      let lits = ref [] in
+      Array.iteri
+        (fun v l ->
+          if l <> Logic.Cube.Both then lits := (n.N.fanins.(v), l) :: !lits)
+        cube;
+      List.sort compare !lits)
+    cover.Logic.Cover.cubes
+  |> List.sort compare
+
+let key_of_divisor (d : global_divisor) =
+  String.concat "|"
+    (List.map
+       (fun cube ->
+         String.concat ","
+           (List.map
+              (fun (id, l) ->
+                Printf.sprintf "%d%c" id
+                  (match l with
+                   | Logic.Cube.One -> '+'
+                   | Logic.Cube.Zero -> '-'
+                   | Logic.Cube.Both -> '?'))
+              cube))
+       d)
+
+let support_of_divisor (d : global_divisor) =
+  List.sort_uniq compare (List.concat_map (fun c -> List.map fst c) d)
+
+let lit_count_of_divisor (d : global_divisor) =
+  List.fold_left (fun acc c -> acc + List.length c) 0 d
+
+(* Express a global divisor in a node's local variable space; None when some
+   support signal is not a fanin of the node. *)
+let localize net n (d : global_divisor) =
+  ignore net;
+  let var_of = Hashtbl.create 8 in
+  Array.iteri
+    (fun v fid ->
+      if not (Hashtbl.mem var_of fid) then Hashtbl.add var_of fid v)
+    n.N.fanins;
+  let nvars = Array.length n.N.fanins in
+  let cube_of c =
+    let out = Logic.Cube.universe nvars in
+    let ok = ref true in
+    List.iter
+      (fun (fid, l) ->
+        match Hashtbl.find_opt var_of fid with
+        | Some v ->
+          if out.(v) = Logic.Cube.Both then out.(v) <- l
+          else if out.(v) <> l then ok := false
+        | None -> ok := false)
+      c;
+    if !ok then Some out else None
+  in
+  let cubes = List.map cube_of d in
+  if List.for_all (fun c -> c <> None) cubes then
+    Some (Logic.Cover.make nvars (List.filter_map Fun.id cubes))
+  else None
+
+(* Literals saved by substituting divisor [d] into node [n] (0 if it does not
+   divide). *)
+let node_saving net n d =
+  match localize net n d with
+  | None -> 0
+  | Some local ->
+    let f = N.cover_of n in
+    let q, r = Logic.Factor.divide f local in
+    if Logic.Cover.is_empty q then 0
+    else begin
+      let before = Logic.Cover.lit_count f in
+      let after =
+        Logic.Cover.lit_count q + Logic.Cover.size q + Logic.Cover.lit_count r
+      in
+      max 0 (before - after)
+    end
+
+(* Candidate divisors of one node: its kernels (multi-cube) and the
+   multi-literal prefixes of its cubes (common-cube extraction). *)
+let candidates_of_node net n ~max_node_cubes =
+  let f = N.cover_of n in
+  if Logic.Cover.size f > max_node_cubes then []
+  else begin
+    let kernels =
+      Logic.Factor.kernels f
+      |> List.filter (fun (_, k) -> Logic.Cover.size k >= 2)
+      |> List.map (fun (_, k) -> global_of_cover net n k)
+    in
+    let cube_divisors =
+      (* pairs of literals occurring together within a cube *)
+      List.concat_map
+        (fun cube ->
+          let lits = ref [] in
+          Array.iteri
+            (fun v l ->
+              if l <> Logic.Cube.Both then lits := (n.N.fanins.(v), l) :: !lits)
+            cube;
+          let lits = List.sort compare !lits in
+          let rec pairs = function
+            | [] | [ _ ] -> []
+            | x :: rest -> List.map (fun y -> [ [ x; y ] ]) rest @ pairs rest
+          in
+          pairs lits)
+        f.Logic.Cover.cubes
+    in
+    kernels @ cube_divisors
+  end
+
+let extract_one net ~max_node_cubes =
+  (* score every distinct candidate against every node *)
+  let nodes = N.logic_nodes net in
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun d ->
+          let key = key_of_divisor d in
+          if not (Hashtbl.mem seen key) then Hashtbl.add seen key d)
+        (candidates_of_node net n ~max_node_cubes))
+    nodes;
+  let best = ref None in
+  Hashtbl.iter
+    (fun _ d ->
+      if lit_count_of_divisor d >= 2 then begin
+        let support = support_of_divisor d in
+        let users =
+          List.filter
+            (fun n -> (not (List.mem n.N.id support)) && node_saving net n d > 0)
+            nodes
+        in
+        if List.length users >= 2 then begin
+          let value =
+            List.fold_left (fun acc n -> acc + node_saving net n d) 0 users
+            - lit_count_of_divisor d
+          in
+          match !best with
+          | Some (_, _, best_value) when best_value >= value -> ()
+          | Some _ | None ->
+            if value > 0 then best := Some (d, users, value)
+        end
+      end)
+    seen;
+  match !best with
+  | None -> false
+  | Some (d, users, _) ->
+    (* implement the divisor once *)
+    let support = support_of_divisor d in
+    let var_of = Hashtbl.create 8 in
+    List.iteri (fun v fid -> Hashtbl.add var_of fid v) support;
+    let nvars = List.length support in
+    let divisor_cover =
+      Logic.Cover.make nvars
+        (List.map
+           (fun c ->
+             let out = Logic.Cube.universe nvars in
+             List.iter (fun (fid, l) -> out.(Hashtbl.find var_of fid) <- l) c;
+             out)
+           d)
+    in
+    let divisor_node =
+      N.add_logic net divisor_cover (List.map (N.node net) support)
+    in
+    (* substitute into every user *)
+    List.iter
+      (fun n ->
+        match N.node_opt net n.N.id with
+        | None -> ()
+        | Some n ->
+          (match localize net n d with
+           | None -> ()
+           | Some local ->
+             let f = N.cover_of n in
+             let q, r = Logic.Factor.divide f local in
+             if not (Logic.Cover.is_empty q) then begin
+               let old_arity = Array.length n.N.fanins in
+               let nvars' = old_arity + 1 in
+               let widen cube extra =
+                 let out = Logic.Cube.universe nvars' in
+                 Array.blit cube 0 out 0 old_arity;
+                 out.(old_arity) <- extra;
+                 out
+               in
+               let cubes =
+                 List.map (fun c -> widen c Logic.Cube.One) q.Logic.Cover.cubes
+                 @ List.map (fun c -> widen c Logic.Cube.Both) r.Logic.Cover.cubes
+               in
+               let fanins =
+                 List.map (N.node net) (Array.to_list n.N.fanins)
+                 @ [ divisor_node ]
+               in
+               N.set_function net n (Logic.Cover.make nvars' cubes) fanins
+             end))
+      users;
+    true
+
+let extract_divisors ?(max_iterations = 50) ?(max_node_cubes = 24) net =
+  let count = ref 0 in
+  while !count < max_iterations && extract_one net ~max_node_cubes do
+    incr count
+  done;
+  N.sweep net;
+  !count

@@ -1,0 +1,13 @@
+(** Shared-divisor extraction across nodes (SIS [fx]/[gkx] in miniature).
+
+    Enumerates kernels and multi-literal cubes of every logic node, scores
+    each distinct divisor by the literals saved if it were implemented once
+    and substituted everywhere it divides, greedily extracts the best one as
+    a new node, and repeats.  Used by the area script; the delay script
+    skips it (extraction adds logic levels). *)
+
+val extract_divisors :
+  ?max_iterations:int -> ?max_node_cubes:int -> Netlist.Network.t -> int
+(** Returns the number of divisors extracted.  Nodes with more than
+    [max_node_cubes] cubes (default 24) are skipped when enumerating
+    kernels (kernel counts explode on large covers). *)

@@ -1,0 +1,88 @@
+module N = Netlist.Network
+
+(* One SAT call: is the network with [node]'s cover replaced by [candidate]
+   equivalent to the original at every PO and latch-data endpoint? *)
+let change_is_redundant ~conflict_limit net node candidate =
+  let trial = N.copy net in
+  let trial_node = N.node trial node.N.id in
+  N.set_cover trial trial_node candidate;
+  match Sim.Equiv.comb_equal_sat ~conflict_limit net trial with
+  | equal -> equal
+  | exception Sim.Equiv.Too_large _ -> false
+
+let remove ?(conflict_limit = 100_000) ?(max_nodes = 300) net =
+  if List.length (N.logic_nodes net) > max_nodes then 0
+  else begin
+    let removed = ref 0 in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun n ->
+          match N.node_opt net n.N.id with
+          | Some n when N.is_logic n ->
+            (* try dropping whole cubes first, then raising literals *)
+            let try_candidate candidate gain =
+              if
+                (not (Logic.Cover.is_empty candidate))
+                && change_is_redundant ~conflict_limit net n candidate
+              then begin
+                N.set_cover net n candidate;
+                removed := !removed + gain;
+                changed := true;
+                true
+              end
+              else false
+            in
+            let cover () = N.cover_of n in
+            (* cube dropping *)
+            let rec drop_cubes i =
+              let c = cover () in
+              if i < Logic.Cover.size c && Logic.Cover.size c > 1 then begin
+                let cubes = c.Logic.Cover.cubes in
+                let without =
+                  List.filteri (fun j _ -> j <> i) cubes
+                in
+                let gain = Logic.Cube.lit_count (List.nth cubes i) in
+                if
+                  try_candidate
+                    (Logic.Cover.make c.Logic.Cover.nvars without)
+                    gain
+                then drop_cubes i (* same index now holds the next cube *)
+                else drop_cubes (i + 1)
+              end
+            in
+            drop_cubes 0;
+            (* literal raising *)
+            let rec raise_literals i v =
+              let c = cover () in
+              if i < Logic.Cover.size c then begin
+                if v >= c.Logic.Cover.nvars then raise_literals (i + 1) 0
+                else begin
+                  let cube = List.nth c.Logic.Cover.cubes i in
+                  if
+                    Logic.Cube.depends_on cube v
+                    && Logic.Cube.lit_count cube > 1
+                  then begin
+                    let raised =
+                      List.mapi
+                        (fun j cb ->
+                          if j = i then Logic.Cube.raise_var cb v else cb)
+                        c.Logic.Cover.cubes
+                    in
+                    ignore
+                      (try_candidate
+                         (Logic.Cover.make c.Logic.Cover.nvars raised)
+                         1)
+                  end;
+                  raise_literals i (v + 1)
+                end
+              end
+            in
+            raise_literals 0 0
+          | Some _ | None -> ())
+        (N.logic_nodes net)
+    done;
+    N.sweep net;
+    !removed
+  end

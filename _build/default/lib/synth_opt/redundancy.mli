@@ -1,0 +1,15 @@
+(** SAT-based redundancy removal.
+
+    Per-node minimization cannot see network-level redundancy (a literal that
+    is irredundant in its own cover but never observable given the rest of
+    the logic).  This pass tries, for every literal of every cube of every
+    logic node, whether raising it — and for every cube whether dropping
+    it — preserves the network's combinational function at the register/PO
+    boundary, checked with a SAT miter.  Accepted changes are exactly the
+    classical untestable stuck-at faults. *)
+
+val remove :
+  ?conflict_limit:int -> ?max_nodes:int -> Netlist.Network.t -> int
+(** Mutates the network; returns the number of literals and cubes removed.
+    Networks with more than [max_nodes] logic nodes (default 300) are left
+    untouched (each candidate costs one SAT call). *)

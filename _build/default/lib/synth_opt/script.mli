@@ -1,0 +1,30 @@
+(** Combinational optimization pipeline standing in for SIS [script.delay]
+    (see DESIGN.md for the substitution rationale).
+
+    The pipeline: sweep, per-node espresso-lite simplification, literal-saving
+    eliminations, then algebraic decomposition with balanced trees and
+    delay-oriented technology mapping (both inside {!Techmap.Mapper.map}). *)
+
+val simplify_nodes : Netlist.Network.t -> int
+(** Minimize every logic node's SOP in place (no don't-cares).  Returns the
+    number of nodes improved. *)
+
+val collapse_into :
+  Netlist.Network.t -> producer:Netlist.Network.node -> consumer:Netlist.Network.node -> unit
+(** Substitute a logic node's function into one consumer (SIS collapse). *)
+
+val eliminate : ?threshold:int -> ?max_support:int -> Netlist.Network.t -> int
+(** Collapse nodes whose elimination does not increase the literal count by
+    more than [threshold] (default 0).  Returns nodes eliminated. *)
+
+val script_delay : Netlist.Network.t -> lib:Techmap.Genlib.t -> Netlist.Network.t
+(** Full delay script: returns a fresh mapped network (input untouched). *)
+
+val script_area : Netlist.Network.t -> lib:Techmap.Genlib.t -> Netlist.Network.t
+(** Like {!script_delay} but with shared-divisor extraction
+    ({!Extract.extract_divisors}), structural hashing and an area-oriented
+    mapping objective. *)
+
+val unmapped_optimize : Netlist.Network.t -> unit
+(** The technology-independent part only (sweep, simplify, eliminate),
+    mutating the network. *)

@@ -1,0 +1,1 @@
+lib/techmap/genlib.ml: Array List Logic

@@ -1,0 +1,1 @@
+lib/techmap/genlib.mli: Logic

@@ -1,0 +1,1 @@
+lib/techmap/genlib_io.ml: Array Buffer Char Filename Genlib List Logic Printf String

@@ -1,0 +1,1 @@
+lib/techmap/genlib_io.mli: Genlib

@@ -1,0 +1,1 @@
+lib/techmap/mapper.ml: Array Genlib Hashtbl Lazy List Logic Netlist Printf Sta

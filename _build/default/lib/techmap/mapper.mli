@@ -1,0 +1,24 @@
+(** Technology mapping by tree covering on a NAND2/INV subject graph.
+
+    The classical SIS flow: decompose every logic node into 2-input NANDs and
+    inverters (using algebraic factoring, with balanced trees for delay),
+    break the subject DAG into trees at multi-fanout points, and cover each
+    tree by library patterns with dynamic programming. *)
+
+type objective = Min_delay | Min_area
+
+val subject_graph : Netlist.Network.t -> Netlist.Network.t
+(** Fresh network in which every logic node is a 2-input NAND or an inverter
+    (structurally hashed); IO, latches and initial values are preserved. *)
+
+val map : Netlist.Network.t -> lib:Genlib.t -> objective:objective -> Netlist.Network.t
+(** Full mapping: subject graph + tree covering.  Every logic node of the
+    result carries a {!Netlist.Network.binding}. *)
+
+val mapped_area : Netlist.Network.t -> lib:Genlib.t -> float
+(** Total area: bound gates plus latches (unbound logic counts as NAND2). *)
+
+val mapped_delay_model : lib:Genlib.t -> Sta.model
+(** Delay model reading gate bindings, adding the library latch setup on
+    latch data pins is the caller's concern (the STA treats latch inputs as
+    plain end points). *)

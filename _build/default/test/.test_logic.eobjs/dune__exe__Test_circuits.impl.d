@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Circuits Core List Logic Netlist Printf QCheck QCheck_alcotest Random Retiming Sim Sta String

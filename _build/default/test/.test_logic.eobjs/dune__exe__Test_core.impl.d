@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Circuits Core List Logic Netlist Printf QCheck QCheck_alcotest Sim Sta Synth_opt Techmap

@@ -1,0 +1,1 @@
+test/test_dontcare.ml: Alcotest Array Circuits Dontcare List Logic Netlist Printf QCheck QCheck_alcotest Retiming Sim

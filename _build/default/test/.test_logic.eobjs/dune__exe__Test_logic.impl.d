@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Format Fun List Logic QCheck QCheck_alcotest

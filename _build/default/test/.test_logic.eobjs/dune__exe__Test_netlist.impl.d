@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Circuits List Logic Netlist QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_retiming.ml: Alcotest Circuits List Logic Netlist QCheck QCheck_alcotest Random Retiming Sim Sta

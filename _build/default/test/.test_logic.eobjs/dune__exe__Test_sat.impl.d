@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array List Printf QCheck QCheck_alcotest Sat_lite String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Circuits List Logic Netlist QCheck QCheck_alcotest Retiming Sim String

@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Circuits List Logic Netlist QCheck QCheck_alcotest Sta

@@ -1,0 +1,1 @@
+test/test_synth_opt.ml: Alcotest Array Circuits List Logic Netlist QCheck QCheck_alcotest Sim Sta Synth_opt Techmap

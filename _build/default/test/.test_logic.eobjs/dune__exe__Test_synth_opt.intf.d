@@ -1,0 +1,1 @@
+test/test_synth_opt.mli:

@@ -1,0 +1,1 @@
+test/test_techmap.ml: Alcotest Array Circuits List Logic Netlist QCheck QCheck_alcotest Sim Sta Techmap

@@ -1,0 +1,405 @@
+(* Tests for the two-level logic package: cubes, covers, minimization and
+   factoring, checked against dense truth tables as reference semantics. *)
+
+let cube = Alcotest.testable Logic.Cube.pp Logic.Cube.equal
+let cover_t = Alcotest.testable Logic.Cover.pp Logic.Cover.equivalent
+
+(* --- generators ---------------------------------------------------------- *)
+
+let gen_cube n =
+  QCheck.Gen.(
+    array_repeat n (oneofl [ Logic.Cube.Zero; Logic.Cube.One; Logic.Cube.Both ]))
+
+let gen_cover n =
+  QCheck.Gen.(
+    list_size (int_range 0 6) (gen_cube n) >|= fun cubes ->
+    Logic.Cover.make n cubes)
+
+let arb_cover n =
+  QCheck.make
+    ~print:(fun f -> Format.asprintf "%a" Logic.Cover.pp f)
+    (gen_cover n)
+
+let arb_cover_pair n =
+  QCheck.make
+    ~print:(fun (f, g) ->
+      Format.asprintf "%a | %a" Logic.Cover.pp f Logic.Cover.pp g)
+    QCheck.Gen.(pair (gen_cover n) (gen_cover n))
+
+let all_points n =
+  List.init (1 lsl n) (fun i -> Array.init n (fun v -> i land (1 lsl v) <> 0))
+
+let same_function n f g =
+  List.for_all
+    (fun p -> Logic.Cover.eval f p = Logic.Cover.eval g p)
+    (all_points n)
+
+(* --- cube unit tests ------------------------------------------------------ *)
+
+let test_cube_string () =
+  let c = Logic.Cube.of_string "01-1" in
+  Alcotest.(check string) "roundtrip" "01-1" (Logic.Cube.to_string c);
+  Alcotest.(check int) "lit count" 3 (Logic.Cube.lit_count c);
+  Alcotest.(check bool) "depends 0" true (Logic.Cube.depends_on c 0);
+  Alcotest.(check bool) "depends 2" false (Logic.Cube.depends_on c 2)
+
+let test_cube_contains () =
+  let big = Logic.Cube.of_string "1--" and small = Logic.Cube.of_string "101" in
+  Alcotest.(check bool) "big contains small" true (Logic.Cube.contains big small);
+  Alcotest.(check bool) "small contains big" false (Logic.Cube.contains small big);
+  Alcotest.(check bool) "self" true (Logic.Cube.contains big big)
+
+let test_cube_intersect () =
+  let a = Logic.Cube.of_string "1-0" and b = Logic.Cube.of_string "-10" in
+  (match Logic.Cube.intersect a b with
+   | Some c -> Alcotest.check cube "product" (Logic.Cube.of_string "110") c
+   | None -> Alcotest.fail "expected intersection");
+  let c = Logic.Cube.of_string "0--" in
+  Alcotest.(check bool) "disjoint" true (Logic.Cube.intersect a c = None)
+
+let test_cube_distance_consensus () =
+  let a = Logic.Cube.of_string "10-" and b = Logic.Cube.of_string "11-" in
+  Alcotest.(check int) "distance 1" 1 (Logic.Cube.distance a b);
+  (match Logic.Cube.consensus a b with
+   | Some c -> Alcotest.check cube "consensus" (Logic.Cube.of_string "1--") c
+   | None -> Alcotest.fail "expected consensus");
+  let c = Logic.Cube.of_string "01-" in
+  Alcotest.(check int) "distance 2" 2 (Logic.Cube.distance a c);
+  Alcotest.(check bool) "no consensus" true (Logic.Cube.consensus a c = None)
+
+let test_cube_supercube () =
+  let a = Logic.Cube.of_string "101" and b = Logic.Cube.of_string "111" in
+  Alcotest.check cube "supercube" (Logic.Cube.of_string "1-1")
+    (Logic.Cube.supercube a b)
+
+let test_cube_cofactor () =
+  let a = Logic.Cube.of_string "1-0" in
+  (match Logic.Cube.cofactor a 0 Logic.Cube.One with
+   | Some c -> Alcotest.check cube "cofactor" (Logic.Cube.of_string "--0") c
+   | None -> Alcotest.fail "cofactor should exist");
+  Alcotest.(check bool) "opposing literal" true
+    (Logic.Cube.cofactor a 0 Logic.Cube.Zero = None)
+
+(* --- cover unit tests ----------------------------------------------------- *)
+
+let test_cover_tautology () =
+  (* x + x' is a tautology. *)
+  let f = Logic.Cover.of_strings 1 [ "1"; "0" ] in
+  Alcotest.(check bool) "x + x'" true (Logic.Cover.is_tautology f);
+  let g = Logic.Cover.of_strings 2 [ "1-"; "01" ] in
+  Alcotest.(check bool) "not tautology" false (Logic.Cover.is_tautology g);
+  let h = Logic.Cover.of_strings 2 [ "1-"; "01"; "00" ] in
+  Alcotest.(check bool) "full cover" true (Logic.Cover.is_tautology h)
+
+let test_cover_complement_xor () =
+  (* complement of xor is xnor *)
+  let xor = Logic.Cover.of_strings 2 [ "10"; "01" ] in
+  let xnor = Logic.Cover.of_strings 2 [ "11"; "00" ] in
+  Alcotest.check cover_t "xnor" xnor (Logic.Cover.complement xor)
+
+let test_cover_sharp () =
+  let f = Logic.Cover.of_strings 2 [ "1-" ] in
+  let g = Logic.Cover.of_strings 2 [ "11" ] in
+  let d = Logic.Cover.sharp f g in
+  Alcotest.check cover_t "a and not b" (Logic.Cover.of_strings 2 [ "10" ]) d
+
+let test_cover_covers () =
+  let f = Logic.Cover.of_strings 3 [ "1--"; "-1-" ] in
+  let g = Logic.Cover.of_strings 3 [ "11-"; "1-0" ] in
+  Alcotest.(check bool) "covers" true (Logic.Cover.covers f g);
+  Alcotest.(check bool) "not covers" false (Logic.Cover.covers g f)
+
+let test_cover_scc () =
+  let f = Logic.Cover.of_strings 2 [ "1-"; "11"; "1-" ] in
+  let r = Logic.Cover.single_cube_containment f in
+  Alcotest.(check int) "one cube survives" 1 (Logic.Cover.size r)
+
+let test_cover_support () =
+  let f = Logic.Cover.of_strings 4 [ "1--0"; "-0--" ] in
+  Alcotest.(check (list int)) "support" [ 0; 1; 3 ] (Logic.Cover.support f)
+
+let test_cover_rename () =
+  let f = Logic.Cover.of_strings 2 [ "10" ] in
+  let g = Logic.Cover.rename f 3 [| 2; 0 |] in
+  Alcotest.check cover_t "renamed" (Logic.Cover.of_strings 3 [ "0-1" ]) g
+
+(* --- cover properties ----------------------------------------------------- *)
+
+let n_prop = 4
+
+let prop_complement =
+  QCheck.Test.make ~count:200 ~name:"complement is pointwise negation"
+    (arb_cover n_prop) (fun f ->
+      let fc = Logic.Cover.complement f in
+      List.for_all
+        (fun p -> Logic.Cover.eval fc p = not (Logic.Cover.eval f p))
+        (all_points n_prop))
+
+let prop_sharp =
+  QCheck.Test.make ~count:200 ~name:"sharp is set difference"
+    (arb_cover_pair n_prop) (fun (f, g) ->
+      let d = Logic.Cover.sharp f g in
+      List.for_all
+        (fun p ->
+          Logic.Cover.eval d p
+          = (Logic.Cover.eval f p && not (Logic.Cover.eval g p)))
+        (all_points n_prop))
+
+let prop_tautology =
+  QCheck.Test.make ~count:200 ~name:"tautology agrees with evaluation"
+    (arb_cover n_prop) (fun f ->
+      Logic.Cover.is_tautology f
+      = List.for_all (Logic.Cover.eval f) (all_points n_prop))
+
+let prop_covers =
+  QCheck.Test.make ~count:200 ~name:"covers agrees with implication"
+    (arb_cover_pair n_prop) (fun (f, g) ->
+      Logic.Cover.covers f g
+      = List.for_all
+          (fun p -> (not (Logic.Cover.eval g p)) || Logic.Cover.eval f p)
+          (all_points n_prop))
+
+let prop_intersect =
+  QCheck.Test.make ~count:200 ~name:"intersect is conjunction"
+    (arb_cover_pair n_prop) (fun (f, g) ->
+      let h = Logic.Cover.intersect f g in
+      List.for_all
+        (fun p ->
+          Logic.Cover.eval h p = (Logic.Cover.eval f p && Logic.Cover.eval g p))
+        (all_points n_prop))
+
+(* --- minimization --------------------------------------------------------- *)
+
+let test_minimize_simple () =
+  (* ab + ab' = a *)
+  let f = Logic.Cover.of_strings 2 [ "11"; "10" ] in
+  let m = Logic.Minimize.minimize f in
+  Alcotest.check cover_t "merged" (Logic.Cover.of_strings 2 [ "1-" ]) m;
+  Alcotest.(check int) "one cube" 1 (Logic.Cover.size m)
+
+let test_minimize_with_dc () =
+  (* f = ab, dc = ab' : minimizer may absorb the DC minterm, giving a. *)
+  let f = Logic.Cover.of_strings 2 [ "11" ] in
+  let dc = Logic.Cover.of_strings 2 [ "10" ] in
+  let m = Logic.Minimize.minimize ~dc f in
+  Alcotest.(check int) "one literal" 1 (Logic.Cover.lit_count m)
+
+let test_minimize_xor_dc () =
+  (* The paper's mechanism: f = r1 * r2 with DC = r1 xor r2 simplifies to a
+     single literal because the disagreeing points never occur. *)
+  let f = Logic.Cover.of_strings 2 [ "11" ] in
+  let dc = Logic.Cover.of_strings 2 [ "10"; "01" ] in
+  let m = Logic.Minimize.minimize ~dc f in
+  Alcotest.(check int) "single literal" 1 (Logic.Cover.lit_count m)
+
+let prop_minimize_preserves =
+  QCheck.Test.make ~count:200 ~name:"minimize preserves the care function"
+    (arb_cover_pair n_prop) (fun (f, dc) ->
+      let m = Logic.Minimize.minimize ~dc f in
+      List.for_all
+        (fun p ->
+          Logic.Cover.eval dc p
+          || Logic.Cover.eval m p = Logic.Cover.eval f p)
+        (all_points n_prop))
+
+let prop_minimize_within_dc =
+  QCheck.Test.make ~count:200 ~name:"minimize stays inside on+dc"
+    (arb_cover_pair n_prop) (fun (f, dc) ->
+      let m = Logic.Minimize.minimize ~dc f in
+      List.for_all
+        (fun p ->
+          (not (Logic.Cover.eval m p))
+          || Logic.Cover.eval f p || Logic.Cover.eval dc p)
+        (all_points n_prop))
+
+let prop_minimize_no_growth =
+  QCheck.Test.make ~count:200 ~name:"minimize never increases cube count"
+    (arb_cover n_prop) (fun f ->
+      Logic.Cover.size (Logic.Minimize.minimize f) <= Logic.Cover.size f)
+
+let prop_exact_preserves =
+  QCheck.Test.make ~count:100 ~name:"exact minimization preserves care function"
+    (arb_cover_pair n_prop) (fun (f, dc) ->
+      let m = Logic.Minimize.minimize_exact_small ~dc f in
+      List.for_all
+        (fun p ->
+          Logic.Cover.eval dc p
+          || Logic.Cover.eval m p = Logic.Cover.eval f p)
+        (all_points n_prop))
+
+let prop_heuristic_close_to_exact =
+  QCheck.Test.make ~count:100 ~name:"espresso-lite within 2x of exact cubes"
+    (arb_cover n_prop) (fun f ->
+      let h = Logic.Minimize.minimize f in
+      let e = Logic.Minimize.minimize_exact_small f in
+      Logic.Cover.size h <= (2 * Logic.Cover.size e) + 1)
+
+let prop_minimize_irredundant =
+  QCheck.Test.make ~count:150 ~name:"minimized cover is irredundant"
+    (arb_cover_pair n_prop) (fun (f, dc) ->
+      let m = Logic.Minimize.minimize ~dc f in
+      (* no cube is covered by the remaining cubes plus the DC set *)
+      let rec check kept = function
+        | [] -> true
+        | c :: rest ->
+          let others =
+            Logic.Cover.union (Logic.Cover.make n_prop (kept @ rest)) dc
+          in
+          (not (Logic.Cover.covers_cube others c)) && check (c :: kept) rest
+      in
+      Logic.Cover.is_empty m || check [] m.Logic.Cover.cubes)
+
+let prop_minimize_prime =
+  QCheck.Test.make ~count:150 ~name:"minimized cubes are prime"
+    (arb_cover_pair n_prop) (fun (f, dc) ->
+      let m = Logic.Minimize.minimize ~dc f in
+      if Logic.Cover.is_empty m then true
+      else begin
+        let on_dc = Logic.Cover.union f dc in
+        (* raising any literal of any cube must leave the care ON-set *)
+        List.for_all
+          (fun cube ->
+            List.for_all
+              (fun v ->
+                (not (Logic.Cube.depends_on cube v))
+                || not
+                     (Logic.Cover.covers_cube on_dc (Logic.Cube.raise_var cube v)))
+              (List.init n_prop Fun.id))
+          m.Logic.Cover.cubes
+      end)
+
+let prop_kernels_divide =
+  QCheck.Test.make ~count:150 ~name:"kernels are cube-free and divide f"
+    (arb_cover n_prop) (fun f ->
+      List.for_all
+        (fun (_, k) ->
+          Logic.Factor.cube_free k
+          &&
+          let q, _ = Logic.Factor.divide f k in
+          (* kernel must divide f algebraically unless it IS f *)
+          Logic.Cover.equivalent k f || not (Logic.Cover.is_empty q))
+        (Logic.Factor.kernels f))
+
+let prop_supercube_contains =
+  QCheck.Test.make ~count:200 ~name:"supercube contains both cubes"
+    (QCheck.make QCheck.Gen.(pair (gen_cube n_prop) (gen_cube n_prop)))
+    (fun (a, b) ->
+      let s = Logic.Cube.supercube a b in
+      Logic.Cube.contains s a && Logic.Cube.contains s b)
+
+(* --- truth tables --------------------------------------------------------- *)
+
+let test_tt_roundtrip () =
+  let f = Logic.Cover.of_strings 3 [ "1-0"; "01-" ] in
+  let t = Logic.Truthtab.of_cover f in
+  let back = Logic.Truthtab.to_cover t in
+  Alcotest.check cover_t "roundtrip" f back
+
+let test_tt_ops () =
+  let a = Logic.Truthtab.var 2 0 and b = Logic.Truthtab.var 2 1 in
+  let xor = Logic.Truthtab.bxor a b in
+  Alcotest.(check int) "xor ones" 2 (Logic.Truthtab.count_ones xor);
+  Alcotest.(check bool) "depends" true (Logic.Truthtab.depends_on xor 0);
+  let const = Logic.Truthtab.bxor xor xor in
+  Alcotest.(check bool) "no depend" false (Logic.Truthtab.depends_on const 0)
+
+let test_tt_cofactor () =
+  let a = Logic.Truthtab.var 2 0 and b = Logic.Truthtab.var 2 1 in
+  let f = Logic.Truthtab.band a b in
+  let c = Logic.Truthtab.cofactor f 0 true in
+  Alcotest.(check bool) "cofactor = b" true (Logic.Truthtab.equal c b)
+
+(* --- factoring ------------------------------------------------------------ *)
+
+let prop_quick_factor =
+  QCheck.Test.make ~count:200 ~name:"quick_factor preserves function"
+    (arb_cover n_prop) (fun f ->
+      let e = Logic.Factor.quick_factor f in
+      List.for_all
+        (fun p -> Logic.Factor.eval e p = Logic.Cover.eval f p)
+        (all_points n_prop))
+
+let prop_good_factor =
+  QCheck.Test.make ~count:200 ~name:"good_factor preserves function"
+    (arb_cover n_prop) (fun f ->
+      let e = Logic.Factor.good_factor f in
+      List.for_all
+        (fun p -> Logic.Factor.eval e p = Logic.Cover.eval f p)
+        (all_points n_prop))
+
+let test_factor_example () =
+  (* ab + ac factors as a(b + c): 3 literals instead of 4. *)
+  let f = Logic.Cover.of_strings 3 [ "11-"; "1-1" ] in
+  let e = Logic.Factor.quick_factor f in
+  Alcotest.(check int) "3 literals" 3 (Logic.Factor.literal_count e)
+
+let test_divide_by_cube () =
+  let f = Logic.Cover.of_strings 3 [ "11-"; "1-1"; "-01" ] in
+  let c = Logic.Cube.of_string "1--" in
+  let q, r = Logic.Factor.divide_by_cube f c in
+  Alcotest.(check int) "quotient size" 2 (Logic.Cover.size q);
+  Alcotest.(check int) "remainder size" 1 (Logic.Cover.size r)
+
+let test_kernels () =
+  (* f = ab + ac: kernel b + c with co-kernel a. *)
+  let f = Logic.Cover.of_strings 3 [ "11-"; "1-1" ] in
+  let ks = Logic.Factor.kernels f in
+  let expected = Logic.Cover.of_strings 3 [ "-1-"; "--1" ] in
+  Alcotest.(check bool) "kernel found" true
+    (List.exists (fun (_, k) -> Logic.Cover.equivalent k expected) ks)
+
+let prop_divide_reconstruct =
+  QCheck.Test.make ~count:200 ~name:"f = c*q + r after cube division"
+    (QCheck.make
+       QCheck.Gen.(pair (gen_cover n_prop) (gen_cube n_prop)))
+    (fun (f, c) ->
+      let q, r = Logic.Factor.divide_by_cube f c in
+      let cq =
+        Logic.Cover.intersect (Logic.Cover.make n_prop [ c ]) q
+      in
+      let rebuilt = Logic.Cover.union cq r in
+      same_function n_prop f rebuilt)
+
+let () =
+  let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests) in
+  Alcotest.run "logic"
+    [ ( "cube",
+        [ Alcotest.test_case "string roundtrip" `Quick test_cube_string;
+          Alcotest.test_case "containment" `Quick test_cube_contains;
+          Alcotest.test_case "intersection" `Quick test_cube_intersect;
+          Alcotest.test_case "distance/consensus" `Quick
+            test_cube_distance_consensus;
+          Alcotest.test_case "supercube" `Quick test_cube_supercube;
+          Alcotest.test_case "cofactor" `Quick test_cube_cofactor ] );
+      ( "cover",
+        [ Alcotest.test_case "tautology" `Quick test_cover_tautology;
+          Alcotest.test_case "complement xor" `Quick test_cover_complement_xor;
+          Alcotest.test_case "sharp" `Quick test_cover_sharp;
+          Alcotest.test_case "covers" `Quick test_cover_covers;
+          Alcotest.test_case "single cube containment" `Quick test_cover_scc;
+          Alcotest.test_case "support" `Quick test_cover_support;
+          Alcotest.test_case "rename" `Quick test_cover_rename ] );
+      qsuite "cover-props"
+        [ prop_complement; prop_sharp; prop_tautology; prop_covers;
+          prop_intersect ];
+      ( "minimize",
+        [ Alcotest.test_case "merge adjacent" `Quick test_minimize_simple;
+          Alcotest.test_case "absorb dc" `Quick test_minimize_with_dc;
+          Alcotest.test_case "xor dc collapses to literal" `Quick
+            test_minimize_xor_dc ] );
+      qsuite "minimize-props"
+        [ prop_minimize_preserves; prop_minimize_within_dc;
+          prop_minimize_no_growth; prop_exact_preserves;
+          prop_heuristic_close_to_exact; prop_minimize_irredundant;
+          prop_minimize_prime ];
+      qsuite "algebra-props" [ prop_kernels_divide; prop_supercube_contains ];
+      ( "truthtab",
+        [ Alcotest.test_case "roundtrip" `Quick test_tt_roundtrip;
+          Alcotest.test_case "bit ops" `Quick test_tt_ops;
+          Alcotest.test_case "cofactor" `Quick test_tt_cofactor ] );
+      ( "factor",
+        [ Alcotest.test_case "ab+ac" `Quick test_factor_example;
+          Alcotest.test_case "divide by cube" `Quick test_divide_by_cube;
+          Alcotest.test_case "kernels" `Quick test_kernels ] );
+      qsuite "factor-props"
+        [ prop_quick_factor; prop_good_factor; prop_divide_reconstruct ] ]

@@ -1,0 +1,290 @@
+(* Netlist construction, editing, BLIF round-trips and invariants. *)
+
+module N = Netlist.Network
+
+let and_cover = Logic.Cover.of_strings 2 [ "11" ]
+let or_cover = Logic.Cover.of_strings 2 [ "1-"; "-1" ]
+let inv_cover = Logic.Cover.of_strings 1 [ "0" ]
+
+(* A small FSM: toggle flip-flop with enable.
+   r' = r xor en; out = r and en. *)
+let toggle_circuit () =
+  let net = N.create ~name:"toggle" () in
+  let en = N.add_input net "en" in
+  let r_placeholder = N.add_const net false in
+  let r = N.add_latch net ~name:"r" N.I0 r_placeholder in
+  let xor = Logic.Cover.of_strings 2 [ "10"; "01" ] in
+  let next = N.add_logic net ~name:"next" xor [ en; r ] in
+  N.replace_fanin net r ~old_fanin:r_placeholder ~new_fanin:next;
+  let out = N.add_logic net ~name:"out" and_cover [ en; r ] in
+  N.set_output net "out" out;
+  N.sweep net;
+  net
+
+let test_build_and_check () =
+  let net = toggle_circuit () in
+  N.check net;
+  Alcotest.(check int) "latches" 1 (N.num_latches net);
+  Alcotest.(check int) "logic" 2 (N.num_logic net);
+  Alcotest.(check int) "inputs" 1 (List.length (N.inputs net));
+  Alcotest.(check int) "outputs" 1 (List.length (N.outputs net))
+
+let test_fanout_maintenance () =
+  let net = toggle_circuit () in
+  let r =
+    match N.find_by_name net "r" with Some n -> n | None -> assert false
+  in
+  (* r feeds the xor and the output AND *)
+  Alcotest.(check int) "r fanouts" 2 (List.length r.N.fanouts)
+
+let test_transfer_fanouts () =
+  let net = N.create () in
+  let a = N.add_input net "a" and b = N.add_input net "b" in
+  let g1 = N.add_logic net ~name:"g1" and_cover [ a; b ] in
+  let g2 = N.add_logic net ~name:"g2" or_cover [ a; g1 ] in
+  N.set_output net "o" g1;
+  N.transfer_fanouts net ~from:g1 ~to_:b;
+  Alcotest.(check bool) "g1 has no fanouts" true (g1.N.fanouts = []);
+  Alcotest.(check bool) "output moved" true
+    ((List.assoc "o" (List.map (fun (n, x) -> (n, x.N.id)) (N.outputs net)))
+     = b.N.id);
+  Alcotest.(check bool) "g2 reads b twice" true
+    (Array.for_all (fun f -> f = b.N.id || f = a.N.id) g2.N.fanins);
+  N.delete net g1;
+  N.check net
+
+let test_duplicate_for () =
+  let net = N.create () in
+  let a = N.add_input net "a" and b = N.add_input net "b" in
+  let g = N.add_logic net ~name:"g" and_cover [ a; b ] in
+  let c1 = N.add_logic net ~name:"c1" inv_cover [ g ] in
+  let c2 = N.add_logic net ~name:"c2" inv_cover [ g ] in
+  N.set_output net "o1" c1;
+  N.set_output net "o2" c2;
+  let clone = N.duplicate_for net g ~consumer:c2 in
+  N.check net;
+  Alcotest.(check int) "g keeps one fanout" 1 (List.length g.N.fanouts);
+  Alcotest.(check int) "clone has one fanout" 1 (List.length clone.N.fanouts);
+  Alcotest.(check bool) "c2 reads clone" true (c2.N.fanins.(0) = clone.N.id)
+
+let test_topo_cycle_detection () =
+  let net = N.create () in
+  let a = N.add_input net "a" in
+  let g1 = N.add_logic net ~name:"g1" and_cover [ a; a ] in
+  let g2 = N.add_logic net ~name:"g2" or_cover [ g1; a ] in
+  (* create a combinational cycle g1 <- g2 *)
+  N.replace_fanin net g1 ~old_fanin:a ~new_fanin:g2;
+  N.set_output net "o" g2;
+  Alcotest.check_raises "cycle detected"
+    (Failure "Network.topo_combinational: combinational cycle") (fun () ->
+      ignore (N.topo_combinational net))
+
+let test_latch_cycle_is_fine () =
+  let net = toggle_circuit () in
+  let order = N.topo_combinational net in
+  Alcotest.(check int) "both logic nodes ordered" 2 (List.length order)
+
+let test_eval_comb () =
+  let net = toggle_circuit () in
+  let next =
+    match N.find_by_name net "next" with Some n -> n | None -> assert false
+  in
+  let r =
+    match N.find_by_name net "r" with Some n -> n | None -> assert false
+  in
+  let en =
+    match N.find_by_name net "en" with Some n -> n | None -> assert false
+  in
+  let value en_v r_v id =
+    N.eval_comb net
+      (fun leaf -> if leaf = en.N.id then en_v else (assert (leaf = r.N.id); r_v))
+      id
+  in
+  Alcotest.(check bool) "xor 10" true (value true false next.N.id);
+  Alcotest.(check bool) "xor 11" false (value true true next.N.id);
+  Alcotest.(check bool) "xor 01" true (value false true next.N.id)
+
+let test_sweep_constants () =
+  let net = N.create () in
+  let a = N.add_input net "a" in
+  let c1 = N.add_const net true in
+  let g = N.add_logic net ~name:"g" and_cover [ a; c1 ] in
+  N.set_output net "o" g;
+  N.sweep net;
+  N.check net;
+  (* g should have collapsed to a buffer of a and then into a itself *)
+  let o = List.assoc "o" (N.outputs net) in
+  Alcotest.(check bool) "output is input a" true (o.N.id = a.N.id)
+
+let test_sweep_dangling () =
+  let net = N.create () in
+  let a = N.add_input net "a" in
+  let g1 = N.add_logic net ~name:"g1" inv_cover [ a ] in
+  let _dangling = N.add_logic net ~name:"g2" inv_cover [ g1 ] in
+  N.set_output net "o" g1;
+  N.sweep net;
+  Alcotest.(check int) "only g1 left" 1 (N.num_logic net)
+
+let test_cone () =
+  let net = toggle_circuit () in
+  let next =
+    match N.find_by_name net "next" with Some n -> n | None -> assert false
+  in
+  let leaves = N.cone_leaves net next in
+  Alcotest.(check int) "two leaves" 2 (List.length leaves);
+  let cone = N.transitive_fanin_cone net next in
+  Alcotest.(check int) "cone is just the node" 1 (List.length cone)
+
+(* --- BLIF ------------------------------------------------------------------ *)
+
+let sample_blif =
+  {|# sample circuit
+.model sample
+.inputs a b
+.outputs f g
+.latch nf r 0
+.names a b t
+11 1
+.names t r nf
+1- 1
+-1 1
+.names nf f
+1 1
+.names r g
+0 1
+.end
+|}
+
+let test_blif_parse () =
+  let net = Netlist.Blif.parse_string sample_blif in
+  N.check net;
+  Alcotest.(check string) "model" "sample" (N.model_name net);
+  Alcotest.(check int) "inputs" 2 (List.length (N.inputs net));
+  Alcotest.(check int) "latches" 1 (N.num_latches net);
+  let r = match N.find_by_name net "r" with Some n -> n | None -> assert false in
+  Alcotest.(check bool) "init 0" true (N.latch_init r = N.I0)
+
+let test_blif_roundtrip () =
+  let net = Netlist.Blif.parse_string sample_blif in
+  let text = Netlist.Blif.to_string net in
+  let net2 = Netlist.Blif.parse_string text in
+  N.check net2;
+  Alcotest.(check bool) "same behaviour" true
+    (Sim.Equiv.comb_equal_exhaustive net net2);
+  Alcotest.(check int) "same latches" (N.num_latches net) (N.num_latches net2)
+
+let test_blif_complemented_cover () =
+  let text = ".model m\n.inputs a b\n.outputs o\n.names a b o\n11 0\n.end\n" in
+  let net = Netlist.Blif.parse_string text in
+  let o = List.assoc "o" (N.outputs net) in
+  (* output is nand(a,b) *)
+  let eval av bv =
+    N.eval_comb net
+      (fun id -> if (N.node net id).N.name = "a" then av else bv)
+      o.N.id
+  in
+  Alcotest.(check bool) "nand 11" false (eval true true);
+  Alcotest.(check bool) "nand 10" true (eval true false)
+
+let test_copy_independent () =
+  let net = toggle_circuit () in
+  let dup = N.copy net in
+  let next =
+    match N.find_by_name dup "next" with Some n -> n | None -> assert false
+  in
+  N.set_cover dup next (Logic.Cover.of_strings 2 [ "11" ]);
+  let orig_next =
+    match N.find_by_name net "next" with Some n -> n | None -> assert false
+  in
+  Alcotest.(check bool) "original unchanged" true
+    (Logic.Cover.equivalent (N.cover_of orig_next)
+       (Logic.Cover.of_strings 2 [ "10"; "01" ]))
+
+(* --- Verilog writer --------------------------------------------------------- *)
+
+let test_verilog_writer () =
+  let net = toggle_circuit () in
+  let text = Netlist.Verilog.to_string net in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "module header" true (contains "module toggle(");
+  Alcotest.(check bool) "endmodule" true (contains "endmodule");
+  Alcotest.(check bool) "register block" true
+    (contains "always @(posedge clk)");
+  Alcotest.(check bool) "initial value" true (contains "r = 1'b0");
+  Alcotest.(check bool) "nonblocking update" true (contains "r <= next");
+  Alcotest.(check bool) "output binding" true (contains "assign po_out = ")
+
+let test_verilog_sanitizes_names () =
+  let net = N.create ~name:"weird.model" () in
+  let a = N.add_input net "sig[3]" in
+  let g = N.add_logic net ~name:"1bad" inv_cover [ a ] in
+  N.set_output net "o-ut" g;
+  let text = Netlist.Verilog.to_string net in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "sanitized module" true (contains "module weird_model(");
+  Alcotest.(check bool) "sanitized input" true (contains "input sig_3_;");
+  Alcotest.(check bool) "no bare brackets" false (contains "sig[3]")
+
+let prop_generator_valid =
+  QCheck.Test.make ~count:60 ~name:"random circuits pass invariants"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net =
+        Circuits.Generators.random_sequential ~seed
+          { Circuits.Generators.default_profile with ngates = 20; nlatch = 4 }
+      in
+      N.check net;
+      (* blif round-trip preserves structure counts *)
+      let net2 = Netlist.Blif.parse_string (Netlist.Blif.to_string net) in
+      N.check net2;
+      N.num_latches net = N.num_latches net2)
+
+let prop_blif_roundtrip_behaviour =
+  QCheck.Test.make ~count:40 ~name:"blif round-trip preserves behaviour"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net =
+        Circuits.Generators.random_sequential ~seed
+          { Circuits.Generators.default_profile with
+            ngates = 10;
+            nlatch = 3;
+            npi = 3 }
+      in
+      let net2 = Netlist.Blif.parse_string (Netlist.Blif.to_string net) in
+      Sim.Equiv.comb_equal_exhaustive net net2)
+
+let () =
+  Alcotest.run "netlist"
+    [ ( "network",
+        [ Alcotest.test_case "build and check" `Quick test_build_and_check;
+          Alcotest.test_case "fanout maintenance" `Quick test_fanout_maintenance;
+          Alcotest.test_case "transfer fanouts" `Quick test_transfer_fanouts;
+          Alcotest.test_case "duplicate for consumer" `Quick test_duplicate_for;
+          Alcotest.test_case "cycle detection" `Quick test_topo_cycle_detection;
+          Alcotest.test_case "latch cycles allowed" `Quick
+            test_latch_cycle_is_fine;
+          Alcotest.test_case "eval_comb" `Quick test_eval_comb;
+          Alcotest.test_case "sweep constants" `Quick test_sweep_constants;
+          Alcotest.test_case "sweep dangling" `Quick test_sweep_dangling;
+          Alcotest.test_case "cones" `Quick test_cone;
+          Alcotest.test_case "copy independence" `Quick test_copy_independent ] );
+      ( "verilog",
+        [ Alcotest.test_case "writer" `Quick test_verilog_writer;
+          Alcotest.test_case "sanitization" `Quick
+            test_verilog_sanitizes_names ] );
+      ( "blif",
+        [ Alcotest.test_case "parse" `Quick test_blif_parse;
+          Alcotest.test_case "roundtrip" `Quick test_blif_roundtrip;
+          Alcotest.test_case "complemented cover" `Quick
+            test_blif_complemented_cover ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_generator_valid; prop_blif_roundtrip_behaviour ] ) ]

@@ -1,0 +1,80 @@
+(* Table I rendering and summary tests (pure formatting logic). *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let stats regs clk area = { Core.Flow.regs; clk; area }
+
+let attempt ?(note = "") ?(verified = true) stats =
+  { Core.Flow.stats; note; verified }
+
+let row name base retimed resynthesized =
+  { Core.Flow.circuit = name;
+    base;
+    retimed;
+    resynthesized;
+    resynth_outcome = None }
+
+let sample_rows =
+  [ row "alpha" (stats 10 5.0 100.0)
+      (attempt (Some (stats 12 4.0 120.0)))
+      (attempt (Some (stats 11 3.5 110.0)));
+    row "beta" (stats 6 3.0 60.0)
+      (attempt ~note:"no retiming achieves the target period" None)
+      (attempt (Some (stats 6 2.5 66.0)));
+    row "gamma" (stats 4 2.0 40.0)
+      (attempt (Some (stats 4 2.0 44.0)))
+      (attempt ~note:"critical path has no retimable gates" None) ]
+
+let test_row_format () =
+  let line = Report.Table.row_to_string (List.nth sample_rows 0) in
+  Alcotest.(check bool) "has name" true
+    (String.length line > 5 && String.sub line 0 5 = "alpha");
+  (* three groups of three numeric cells *)
+  Alcotest.(check bool) "mentions 3.50" true
+    (contains line "3.50")
+
+let test_row_dashes_on_failure () =
+  let line = Report.Table.row_to_string (List.nth sample_rows 1) in
+  Alcotest.(check bool) "dashes for failed flow" true
+    (contains line "-")
+
+let test_render_footnotes () =
+  let text = Report.Table.render sample_rows in
+  Alcotest.(check bool) "retiming failure noted" true
+    (contains text "no retiming achieves the target period");
+  Alcotest.(check bool) "resynthesis decline noted" true
+    (contains text "no retimable gates")
+
+let test_summary_counts () =
+  let text = Report.Table.summary sample_rows in
+  Alcotest.(check bool) "rows: 3" true (contains text "rows: 3");
+  Alcotest.(check bool) "retiming failed: 1" true
+    (contains text "retiming failed: 1");
+  Alcotest.(check bool) "resynthesis declined: 1" true
+    (contains text "resynthesis declined: 1")
+
+let test_summary_ratios () =
+  (* only alpha has both flows: reg ratio 11/12, clk 3.5/4.0, area 110/120 *)
+  let text = Report.Table.summary sample_rows in
+  Alcotest.(check bool) "reg ratio 0.917" true
+    (contains text "0.917");
+  Alcotest.(check bool) "clk ratio 0.875" true
+    (contains text "0.875")
+
+let test_run_suite_subset () =
+  let rows = Report.Table.run_suite ~verify:false ~names:[ "s27" ] () in
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  Alcotest.(check string) "named" "s27" (List.hd rows).Core.Flow.circuit
+
+let () =
+  Alcotest.run "report"
+    [ ( "table",
+        [ Alcotest.test_case "row format" `Quick test_row_format;
+          Alcotest.test_case "failure dashes" `Quick test_row_dashes_on_failure;
+          Alcotest.test_case "footnotes" `Quick test_render_footnotes;
+          Alcotest.test_case "summary counts" `Quick test_summary_counts;
+          Alcotest.test_case "summary ratios" `Quick test_summary_ratios;
+          Alcotest.test_case "run subset" `Quick test_run_suite_subset ] ) ]

@@ -1,0 +1,153 @@
+(* SAT solver tests: hand instances, pigeonhole unsatisfiability, random
+   3-CNF cross-checked against brute-force enumeration, incremental use with
+   assumptions. *)
+
+let lit v phase = if phase then v + 1 else -(v + 1)
+
+let brute_force nvars clauses =
+  let point = Array.make nvars false in
+  let clause_sat c =
+    List.exists
+      (fun d ->
+        let v = abs d - 1 in
+        if d > 0 then point.(v) else not point.(v))
+      c
+  in
+  let rec enum v = (v = nvars && List.for_all clause_sat clauses)
+                   || (v < nvars
+                       && (point.(v) <- false;
+                           enum (v + 1)
+                           ||
+                           (point.(v) <- true;
+                            enum (v + 1))))
+  in
+  enum 0
+
+let build nvars clauses =
+  let s = Sat_lite.create () in
+  for _ = 1 to nvars do
+    ignore (Sat_lite.new_var s)
+  done;
+  List.iter (Sat_lite.add_clause s) clauses;
+  s
+
+let model_satisfies model clauses =
+  List.for_all
+    (fun c ->
+      List.exists
+        (fun d ->
+          let v = abs d - 1 in
+          if d > 0 then model.(v) else not model.(v))
+        c)
+    clauses
+
+let test_trivial_sat () =
+  let clauses = [ [ lit 0 true; lit 1 true ]; [ lit 0 false ] ] in
+  let s = build 2 clauses in
+  (match Sat_lite.solve s with
+   | Sat m ->
+     Alcotest.(check bool) "model valid" true (model_satisfies m clauses);
+     Alcotest.(check bool) "x0 false" false m.(0);
+     Alcotest.(check bool) "x1 true" true m.(1)
+   | Unsat | Unknown -> Alcotest.fail "expected sat")
+
+let test_trivial_unsat () =
+  let s = build 1 [ [ lit 0 true ]; [ lit 0 false ] ] in
+  (match Sat_lite.solve s with
+   | Unsat -> ()
+   | Sat _ | Unknown -> Alcotest.fail "expected unsat")
+
+let test_empty_clause () =
+  let s = build 1 [ [] ] in
+  match Sat_lite.solve s with
+  | Unsat -> ()
+  | Sat _ | Unknown -> Alcotest.fail "expected unsat"
+
+let test_xor_chain () =
+  (* x0 xor x1 xor x2 = 1 as CNF; satisfiable. *)
+  let clauses =
+    [ [ lit 0 true; lit 1 true; lit 2 true ];
+      [ lit 0 true; lit 1 false; lit 2 false ];
+      [ lit 0 false; lit 1 true; lit 2 false ];
+      [ lit 0 false; lit 1 false; lit 2 true ] ]
+  in
+  let s = build 3 clauses in
+  match Sat_lite.solve s with
+  | Sat m ->
+    Alcotest.(check bool) "odd parity" true (m.(0) <> m.(1) <> m.(2));
+    Alcotest.(check bool) "model valid" true (model_satisfies m clauses)
+  | Unsat | Unknown -> Alcotest.fail "expected sat"
+
+let pigeonhole holes =
+  (* holes+1 pigeons into [holes] holes: classic unsat family.
+     var (p, h) = p * holes + h. *)
+  let pigeons = holes + 1 in
+  let v p h = (p * holes) + h in
+  let clauses = ref [] in
+  for p = 0 to pigeons - 1 do
+    clauses := List.init holes (fun h -> lit (v p h) true) :: !clauses
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        clauses := [ lit (v p1 h) false; lit (v p2 h) false ] :: !clauses
+      done
+    done
+  done;
+  (pigeons * holes, !clauses)
+
+let test_pigeonhole () =
+  let nvars, clauses = pigeonhole 5 in
+  let s = build nvars clauses in
+  match Sat_lite.solve s with
+  | Unsat -> ()
+  | Sat _ -> Alcotest.fail "pigeonhole cannot be sat"
+  | Unknown -> Alcotest.fail "budget too small for php(5)"
+
+let test_assumptions () =
+  let s = build 2 [ [ lit 0 true; lit 1 true ] ] in
+  (match Sat_lite.solve ~assumptions:[ lit 0 false; lit 1 false ] s with
+   | Unsat -> ()
+   | Sat _ | Unknown -> Alcotest.fail "assumptions force unsat");
+  (* Same solver is reusable without the assumptions. *)
+  match Sat_lite.solve s with
+  | Sat m -> Alcotest.(check bool) "sat again" true (m.(0) || m.(1))
+  | Unsat | Unknown -> Alcotest.fail "expected sat"
+
+let gen_3cnf =
+  QCheck.Gen.(
+    let clause nvars =
+      list_size (return 3)
+        (pair (int_range 0 (nvars - 1)) bool >|= fun (v, ph) -> lit v ph)
+    in
+    int_range 3 8 >>= fun nvars ->
+    list_size (int_range 1 25) (clause nvars) >|= fun clauses ->
+    (nvars, clauses))
+
+let prop_agrees_with_brute_force =
+  QCheck.Test.make ~count:300 ~name:"solver agrees with brute force"
+    (QCheck.make
+       ~print:(fun (n, cs) ->
+         Printf.sprintf "n=%d %s" n
+           (String.concat " & "
+              (List.map
+                 (fun c -> String.concat "|" (List.map string_of_int c))
+                 cs)))
+       gen_3cnf)
+    (fun (nvars, clauses) ->
+      let s = build nvars clauses in
+      match Sat_lite.solve s with
+      | Sat m -> model_satisfies m clauses
+      | Unsat -> not (brute_force nvars clauses)
+      | Unknown -> false)
+
+let () =
+  Alcotest.run "sat_lite"
+    [ ( "basic",
+        [ Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+          Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "xor chain" `Quick test_xor_chain;
+          Alcotest.test_case "pigeonhole 6/5" `Slow test_pigeonhole;
+          Alcotest.test_case "assumptions" `Quick test_assumptions ] );
+      ("props", [ QCheck_alcotest.to_alcotest prop_agrees_with_brute_force ]) ]

@@ -1,0 +1,320 @@
+(* Tests for the script.delay stand-in: node simplification, elimination
+   (collapse), and the full pipeline. *)
+
+module N = Netlist.Network
+
+let and_cover = Logic.Cover.of_strings 2 [ "11" ]
+let or_cover = Logic.Cover.of_strings 2 [ "1-"; "-1" ]
+
+let profile =
+  { Circuits.Generators.default_profile with ngates = 12; nlatch = 3; npi = 3 }
+
+let test_simplify_nodes () =
+  let net = N.create () in
+  let a = N.add_input net "a" and b = N.add_input net "b" in
+  (* ab + ab' + a'b = a + b: 6 literals down to 2 *)
+  let g =
+    N.add_logic net ~name:"g"
+      (Logic.Cover.of_strings 2 [ "11"; "10"; "01" ])
+      [ a; b ]
+  in
+  N.set_output net "o" g;
+  let improved = Synth_opt.Script.simplify_nodes net in
+  Alcotest.(check bool) "improved" true (improved >= 1);
+  Alcotest.(check bool) "now or" true
+    (Logic.Cover.equivalent (N.cover_of g) or_cover)
+
+let test_collapse_into () =
+  (* g = a AND b; h = g OR c.  Collapsing g into h gives h = ab + c. *)
+  let net = N.create () in
+  let a = N.add_input net "a" and b = N.add_input net "b"
+  and c = N.add_input net "c" in
+  let g = N.add_logic net ~name:"g" and_cover [ a; b ] in
+  let h = N.add_logic net ~name:"h" or_cover [ g; c ] in
+  N.set_output net "o" h;
+  Synth_opt.Script.collapse_into net ~producer:g ~consumer:h;
+  N.check net;
+  Alcotest.(check int) "3 fanins" 3 (Array.length h.N.fanins);
+  let expected = Logic.Cover.of_strings 3 [ "11-"; "--1" ] in
+  (* fanin order: b, a? order depends on construction; compare by function *)
+  let tt_of cover = Logic.Truthtab.of_cover cover in
+  let perms_match =
+    (* evaluate against eval_comb semantics instead of guessing order *)
+    let eval av bv cv =
+      N.eval_comb net
+        (fun id ->
+          let n = N.node net id in
+          match n.N.name with
+          | "a" -> av
+          | "b" -> bv
+          | "c" -> cv
+          | _ -> assert false)
+        h.N.id
+    in
+    eval true true false && eval false false true
+    && (not (eval true false false))
+    && not (eval false true false)
+  in
+  ignore (tt_of expected);
+  Alcotest.(check bool) "function correct" true perms_match
+
+let test_collapse_negative_phase () =
+  (* h = NOT g where g = a AND b: collapse must complement correctly *)
+  let net = N.create () in
+  let a = N.add_input net "a" and b = N.add_input net "b" in
+  let g = N.add_logic net ~name:"g" and_cover [ a; b ] in
+  let h = N.add_logic net ~name:"h" (Logic.Cover.of_strings 1 [ "0" ]) [ g ] in
+  N.set_output net "o" h;
+  Synth_opt.Script.collapse_into net ~producer:g ~consumer:h;
+  let eval av bv =
+    N.eval_comb net
+      (fun id ->
+        let n = N.node net id in
+        if n.N.name = "a" then av else bv)
+      h.N.id
+  in
+  Alcotest.(check bool) "nand 11" false (eval true true);
+  Alcotest.(check bool) "nand 01" true (eval false true)
+
+let test_eliminate () =
+  (* A chain of one-fanout small nodes collapses. *)
+  let net = N.create () in
+  let a = N.add_input net "a" and b = N.add_input net "b"
+  and c = N.add_input net "c" in
+  let g1 = N.add_logic net ~name:"g1" and_cover [ a; b ] in
+  let g2 = N.add_logic net ~name:"g2" or_cover [ g1; c ] in
+  N.set_output net "o" g2;
+  let eliminated = Synth_opt.Script.eliminate net in
+  Alcotest.(check bool) "eliminated g1" true (eliminated >= 1);
+  N.check net
+
+let prop_collapse_sound =
+  QCheck.Test.make ~count:50 ~name:"eliminate preserves behaviour"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net = Circuits.Generators.random_sequential ~seed profile in
+      N.sweep net;
+      let before = N.copy net in
+      ignore (Synth_opt.Script.eliminate net);
+      N.check net;
+      Sim.Equiv.seq_equal_bdd before net)
+
+let prop_simplify_sound =
+  QCheck.Test.make ~count:50 ~name:"simplify_nodes preserves behaviour"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net = Circuits.Generators.random_sequential ~seed profile in
+      N.sweep net;
+      let before = N.copy net in
+      ignore (Synth_opt.Script.simplify_nodes net);
+      Sim.Equiv.seq_equal_bdd before net)
+
+let prop_script_delay_sound =
+  QCheck.Test.make ~count:30 ~name:"script_delay output is mapped + equivalent"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net = Circuits.Generators.random_sequential ~seed profile in
+      N.sweep net;
+      let mapped = Synth_opt.Script.script_delay net ~lib:Techmap.Genlib.mcnc_lite in
+      N.check mapped;
+      List.for_all (fun n -> n.N.binding <> None) (N.logic_nodes mapped)
+      && Sim.Equiv.seq_equal_bdd net mapped)
+
+let prop_script_delay_no_worse_depth =
+  QCheck.Test.make ~count:30
+    ~name:"script_delay unit-depth no worse than naive mapping"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net = Circuits.Generators.random_sequential ~seed profile in
+      N.sweep net;
+      let naive =
+        Techmap.Mapper.map net ~lib:Techmap.Genlib.mcnc_lite
+          ~objective:Techmap.Mapper.Min_delay
+      in
+      let optimized =
+        Synth_opt.Script.script_delay net ~lib:Techmap.Genlib.mcnc_lite
+      in
+      let model = Sta.mapped_delay () in
+      Sta.clock_period optimized model
+      <= (Sta.clock_period naive model *. 1.5) +. 1e-9)
+
+(* --- shared-divisor extraction ------------------------------------------------ *)
+
+let test_extract_shared_kernel () =
+  (* f1 = a*c + b*c, f2 = a*d + b*d: the kernel (a + b) is shared; after
+     extraction both nodes use one new (a + b) node. *)
+  let net = N.create () in
+  let a = N.add_input net "a" and b = N.add_input net "b" in
+  let c = N.add_input net "c" and d = N.add_input net "d" in
+  let f1 =
+    N.add_logic net ~name:"f1"
+      (Logic.Cover.of_strings 3 [ "1-1"; "-11" ])
+      [ a; b; c ]
+  in
+  let f2 =
+    N.add_logic net ~name:"f2"
+      (Logic.Cover.of_strings 3 [ "1-1"; "-11" ])
+      [ a; b; d ]
+  in
+  N.set_output net "o1" f1;
+  N.set_output net "o2" f2;
+  let before = N.copy net in
+  let before_lits = N.lit_count net in
+  let extracted = Synth_opt.Extract.extract_divisors net in
+  N.check net;
+  Alcotest.(check bool) "extracted something" true (extracted >= 1);
+  Alcotest.(check bool) "fewer literals" true (N.lit_count net < before_lits);
+  Alcotest.(check bool) "behaviour preserved" true
+    (Sim.Equiv.comb_equal_exhaustive before net)
+
+let test_extract_common_cube () =
+  (* The cube a*b appears in three functions: sharing it saves 3 literals at
+     a cost of 2, so extraction is profitable.  (With only two users the
+     value is exactly zero and the extractor must decline - also checked.) *)
+  let net = N.create () in
+  let a = N.add_input net "a" and b = N.add_input net "b" in
+  let c = N.add_input net "c" and d = N.add_input net "d" in
+  let e = N.add_input net "e" in
+  let cube3 = Logic.Cover.of_strings 3 [ "111" ] in
+  let f1 = N.add_logic net ~name:"f1" cube3 [ a; b; c ] in
+  let f2 = N.add_logic net ~name:"f2" cube3 [ a; b; d ] in
+  N.set_output net "o1" f1;
+  N.set_output net "o2" f2;
+  Alcotest.(check int) "two users: zero value, declined" 0
+    (Synth_opt.Extract.extract_divisors (N.copy net));
+  let f3 = N.add_logic net ~name:"f3" cube3 [ a; b; e ] in
+  N.set_output net "o3" f3;
+  let before = N.copy net in
+  let extracted = Synth_opt.Extract.extract_divisors net in
+  Alcotest.(check bool) "three users: extracted" true (extracted >= 1);
+  Alcotest.(check bool) "behaviour preserved" true
+    (Sim.Equiv.comb_equal_exhaustive before net)
+
+let prop_extract_sound =
+  QCheck.Test.make ~count:40 ~name:"divisor extraction preserves behaviour"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net = Circuits.Generators.random_sequential ~seed profile in
+      N.sweep net;
+      let before = N.copy net in
+      ignore (Synth_opt.Extract.extract_divisors net);
+      N.check net;
+      Sim.Equiv.seq_equal_bdd before net)
+
+let prop_extract_never_grows =
+  QCheck.Test.make ~count:40 ~name:"divisor extraction never grows literals"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net = Circuits.Generators.random_sequential ~seed profile in
+      N.sweep net;
+      let before = N.lit_count net in
+      ignore (Synth_opt.Extract.extract_divisors net);
+      N.lit_count net <= before)
+
+(* --- SAT-based redundancy removal ------------------------------------------------ *)
+
+let test_redundancy_network_level () =
+  (* y = a*b; z = y + a*b*d.  The cube a*b*d is covered by y at the network
+     level, which per-node minimization cannot see. *)
+  let net = N.create () in
+  let a = N.add_input net "a" and b = N.add_input net "b" in
+  let d = N.add_input net "d" in
+  let y = N.add_logic net ~name:"y" and_cover [ a; b ] in
+  let z =
+    N.add_logic net ~name:"z"
+      (Logic.Cover.of_strings 4 [ "1---"; "-111" ])
+      [ y; a; b; d ]
+  in
+  N.set_output net "o" z;
+  let before = N.copy net in
+  Alcotest.(check int) "per-node minimization finds nothing" 0
+    (Synth_opt.Script.simplify_nodes (N.copy net));
+  let removed = Synth_opt.Redundancy.remove net in
+  Alcotest.(check bool) "something removed" true (removed >= 1);
+  N.check net;
+  Alcotest.(check bool) "behaviour preserved" true
+    (Sim.Equiv.comb_equal_exhaustive before net);
+  (* z should now be just a buffer of y (or y's function) *)
+  Alcotest.(check bool) "z simplified" true
+    (match N.node_opt net z.N.id with
+     | Some z -> Logic.Cover.lit_count (N.cover_of z) <= 2
+     | None -> true)
+
+let prop_redundancy_sound =
+  QCheck.Test.make ~count:25 ~name:"redundancy removal preserves behaviour"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net = Circuits.Generators.random_sequential ~seed profile in
+      N.sweep net;
+      let before = N.copy net in
+      ignore (Synth_opt.Redundancy.remove net);
+      N.check net;
+      Sim.Equiv.seq_equal_bdd before net)
+
+let prop_redundancy_never_grows =
+  QCheck.Test.make ~count:25 ~name:"redundancy removal never grows literals"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net = Circuits.Generators.random_sequential ~seed profile in
+      N.sweep net;
+      let before = N.lit_count net in
+      ignore (Synth_opt.Redundancy.remove net);
+      N.lit_count net <= before)
+
+(* --- structural hashing --------------------------------------------------------- *)
+
+let test_strash_merges_twins () =
+  let net = N.create () in
+  let a = N.add_input net "a" and b = N.add_input net "b" in
+  let g1 = N.add_logic net ~name:"g1" and_cover [ a; b ] in
+  let g2 = N.add_logic net ~name:"g2" and_cover [ a; b ] in
+  let h = N.add_logic net ~name:"h" or_cover [ g1; g2 ] in
+  N.set_output net "o" h;
+  let merged = Netlist.Strash.run net in
+  Alcotest.(check int) "one merge" 1 merged;
+  N.check net
+
+let prop_strash_sound =
+  QCheck.Test.make ~count:40 ~name:"structural hashing preserves behaviour"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net = Circuits.Generators.random_sequential ~seed profile in
+      N.sweep net;
+      let before = N.copy net in
+      ignore (Netlist.Strash.run net);
+      N.check net;
+      Sim.Equiv.seq_equal_bdd before net)
+
+let prop_script_area_sound =
+  QCheck.Test.make ~count:25 ~name:"script_area output is mapped + equivalent"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net = Circuits.Generators.random_sequential ~seed profile in
+      N.sweep net;
+      let mapped = Synth_opt.Script.script_area net ~lib:Techmap.Genlib.mcnc_lite in
+      N.check mapped;
+      Sim.Equiv.seq_equal_bdd net mapped)
+
+let () =
+  Alcotest.run "synth_opt"
+    [ ( "basic",
+        [ Alcotest.test_case "simplify nodes" `Quick test_simplify_nodes;
+          Alcotest.test_case "collapse into" `Quick test_collapse_into;
+          Alcotest.test_case "collapse negative phase" `Quick
+            test_collapse_negative_phase;
+          Alcotest.test_case "eliminate" `Quick test_eliminate;
+          Alcotest.test_case "extract shared kernel" `Quick
+            test_extract_shared_kernel;
+          Alcotest.test_case "extract common cube" `Quick
+            test_extract_common_cube;
+          Alcotest.test_case "strash merges twins" `Quick
+            test_strash_merges_twins;
+          Alcotest.test_case "network-level redundancy" `Quick
+            test_redundancy_network_level ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_collapse_sound; prop_simplify_sound; prop_script_delay_sound;
+            prop_script_delay_no_worse_depth; prop_extract_sound;
+            prop_extract_never_grows; prop_strash_sound;
+            prop_script_area_sound; prop_redundancy_sound;
+            prop_redundancy_never_grows ] ) ]
