@@ -167,6 +167,81 @@ let min_register_extension () =
           (Retiming.Minperiod.failure_message f))
     [ "s27"; "s208"; "s298"; "s344"; "s382"; "s400"; "s444"; "s526" ]
 
+(* --- 3c. Incremental STA vs full reanalysis ------------------------------------------ *)
+
+(* The scenario every optimization loop pays for: apply one local edit, ask
+   for the clock period again.  The full engine re-analyzes the whole
+   network; the incremental timer re-propagates only the edit's cone. *)
+let sta_bench ?(emit_json = true) ~circuits () =
+  section "Incremental STA vs full reanalysis (single-edit period re-queries)";
+  let model = Sta.mapped_delay ~default:1.0 () in
+  let bench_circuit name =
+    let entry = Circuits.Suite.find name in
+    let net = entry.Circuits.Suite.build () in
+    let nodes = Array.of_list (N.logic_nodes net) in
+    let nnodes = Array.length nodes in
+    let slow =
+      Some { N.gate_name = "slow"; gate_area = 1.0; gate_delay = 3.0 }
+    in
+    let fast =
+      Some { N.gate_name = "fast"; gate_area = 1.0; gate_delay = 1.0 }
+    in
+    (* stride across the circuit so successive edits hit unrelated cones *)
+    let edit i =
+      let v = nodes.(i * 37 mod nnodes) in
+      N.set_binding net v (if i land 1 = 0 then slow else fast)
+    in
+    let reps = if nnodes > 500 then 200 else 400 in
+    let time_per_query body =
+      (* warm-up pass, then the measured passes *)
+      for i = 0 to 9 do body i done;
+      let t0 = Unix.gettimeofday () in
+      for i = 0 to reps - 1 do body i done;
+      (Unix.gettimeofday () -. t0) /. float_of_int reps
+    in
+    let full_s =
+      time_per_query (fun i ->
+          edit i;
+          ignore (Sta.clock_period net model))
+    in
+    let timer = Sta.Incremental.create net model in
+    let incr_s =
+      time_per_query (fun i ->
+          edit i;
+          ignore (Sta.Incremental.period timer))
+    in
+    (* both engines must agree after all those edits *)
+    assert (Sta.Incremental.period timer = Sta.clock_period net model);
+    let stats = Sta.Incremental.stats timer in
+    let speedup = full_s /. incr_s in
+    Printf.printf
+      "  %-8s %5d gates  full %10.2f us/query  incremental %8.2f us/query  \
+       speedup %6.1fx  (%d incremental syncs, %d full)\n%!"
+      name nnodes (full_s *. 1e6) (incr_s *. 1e6) speedup
+      stats.Sta.Incremental.incremental_syncs stats.Sta.Incremental.full_syncs;
+    (name, nnodes, reps, full_s, incr_s, speedup)
+  in
+  let rows = List.map bench_circuit circuits in
+  if emit_json then begin
+    let oc = open_out "BENCH_sta.json" in
+    Printf.fprintf oc
+      "{\n  \"benchmark\": \"single-edit clock-period re-query\",\n\
+      \  \"unit\": \"ns_per_query\",\n  \"circuits\": [\n";
+    List.iteri
+      (fun i (name, gates, reps, full_s, incr_s, speedup) ->
+        Printf.fprintf oc
+          "    { \"name\": \"%s\", \"logic_nodes\": %d, \"queries\": %d,\n\
+          \      \"full_ns\": %.1f, \"incremental_ns\": %.1f, \
+           \"speedup\": %.2f }%s\n"
+          name gates reps (full_s *. 1e9) (incr_s *. 1e9) speedup
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "  -> BENCH_sta.json\n"
+  end;
+  rows
+
 (* --- 4. Bechamel kernels ------------------------------------------------------------ *)
 
 let bechamel_kernels () =
@@ -220,7 +295,44 @@ let bechamel_kernels () =
           (Staged.stage (fun () ->
                ignore
                  (Techmap.Mapper.map s27 ~lib:Techmap.Genlib.mcnc_lite
-                    ~objective:Techmap.Mapper.Min_delay))) ]
+                    ~objective:Techmap.Mapper.Min_delay)));
+        (* full vs incremental STA on the suite's largest circuit: one
+           binding edit followed by a period re-query *)
+        (let s5378 = (Circuits.Suite.find "s5378").Circuits.Suite.build () in
+         let model = Sta.mapped_delay ~default:1.0 () in
+         let nodes = Array.of_list (N.logic_nodes s5378) in
+         let counter = ref 0 in
+         let edit () =
+           incr counter;
+           let v = nodes.(!counter * 37 mod Array.length nodes) in
+           N.set_binding s5378 v
+             (Some
+                { N.gate_name = "g";
+                  gate_area = 1.0;
+                  gate_delay = (if !counter land 1 = 0 then 3.0 else 1.0) })
+         in
+         Test.make ~name:"sta:full-reanalysis-edit-s5378"
+           (Staged.stage (fun () ->
+                edit ();
+                ignore (Sta.clock_period s5378 model))));
+        (let s5378 = (Circuits.Suite.find "s5378").Circuits.Suite.build () in
+         let model = Sta.mapped_delay ~default:1.0 () in
+         let nodes = Array.of_list (N.logic_nodes s5378) in
+         let timer = Sta.Incremental.create s5378 model in
+         let counter = ref 0 in
+         let edit () =
+           incr counter;
+           let v = nodes.(!counter * 37 mod Array.length nodes) in
+           N.set_binding s5378 v
+             (Some
+                { N.gate_name = "g";
+                  gate_area = 1.0;
+                  gate_delay = (if !counter land 1 = 0 then 3.0 else 1.0) })
+         in
+         Test.make ~name:"sta:incremental-requery-edit-s5378"
+           (Staged.stage (fun () ->
+                edit ();
+                ignore (Sta.Incremental.period timer)))) ]
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
   let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
@@ -251,11 +363,27 @@ let bechamel_kernels () =
     rows
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let smoke = List.mem "--smoke" args in
+  let sta_only = List.mem "--sta" args in
   Printf.printf
-    "Retiming-induced state register equivalence: evaluation harness\n";
-  section3_example ();
-  ignore (table1 ());
-  ablations ();
-  min_register_extension ();
-  bechamel_kernels ();
-  Printf.printf "\ndone.\n"
+    "Retiming-induced state register equivalence: evaluation harness%s\n"
+    (if smoke then " (smoke)" else if sta_only then " (sta)" else "");
+  if sta_only then
+    ignore (sta_bench ~circuits:[ "s641"; "s1196"; "s1238"; "s5378" ] ())
+  else if smoke then begin
+    (* CI-sized pass: the Section III example end to end plus the STA
+       comparison on a small circuit; no JSON, no Bechamel quotas *)
+    section3_example ();
+    ignore (sta_bench ~emit_json:false ~circuits:[ "s298"; "s641" ] ());
+    Printf.printf "\nsmoke ok.\n"
+  end
+  else begin
+    section3_example ();
+    ignore (table1 ());
+    ablations ();
+    min_register_extension ();
+    ignore (sta_bench ~circuits:[ "s641"; "s1196"; "s1238"; "s5378" ] ());
+    bechamel_kernels ();
+    Printf.printf "\ndone.\n"
+  end

@@ -20,18 +20,21 @@ type row = {
   resynth_outcome : Resynth.outcome option;
 }
 
-let measure net ~lib =
-  { regs = N.num_latches net;
-    clk = Sta.clock_period net (Sta.mapped_delay ~default:1.0 ());
-    area = Techmap.Mapper.mapped_area net ~lib }
+let measure ?timer net ~lib =
+  let clk =
+    match timer with
+    | Some t when Sta.Incremental.network t == net -> Sta.Incremental.period t
+    | Some _ | None -> Sta.clock_period net (Sta.mapped_delay ~default:1.0 ())
+  in
+  { regs = N.num_latches net; clk; area = Techmap.Mapper.mapped_area net ~lib }
 
 let script_delay_flow net ~lib = Synth_opt.Script.script_delay net ~lib
 
 (* Baseline B: min-delay retiming, then external don't-cares from implicit
    state enumeration, per-node simplification, and a min-delay remap. *)
-let retiming_flow net ~lib =
+let retiming_flow ?current_period net ~lib =
   let model = Sta.mapped_delay ~default:1.0 () in
-  match Retiming.Minperiod.retime_min_period net ~model with
+  match Retiming.Minperiod.retime_min_period ?current_period net ~model with
   | Error failure -> Error (Retiming.Minperiod.failure_message failure)
   | Ok (retimed, _) ->
     ignore (Dontcare.Reach.simplify_with_unreachable retimed);
@@ -51,7 +54,10 @@ let run_all ?(verify = true) ?(lib = Techmap.Genlib.mcnc_lite)
     ?(resynth_options = Resynth.default_options) ~name net =
   let mapped = script_delay_flow net ~lib in
   N.set_name_of_model mapped name;
-  let base = measure mapped ~lib in
+  (* one timer per network: the base measurement and the retiming flow's
+     candidate filtering share this handle's analysis of [mapped] *)
+  let timer = Sta.Incremental.create mapped (Sta.mapped_delay ~default:1.0 ()) in
+  let base = measure ~timer mapped ~lib in
   let check result =
     if not verify then true
     else
@@ -59,7 +65,7 @@ let run_all ?(verify = true) ?(lib = Techmap.Genlib.mcnc_lite)
       with Failure _ -> Sim.Equiv.seq_equal_random ~seed:7 mapped result
   in
   let retimed =
-    match retiming_flow mapped ~lib with
+    match retiming_flow ~current_period:base.clk mapped ~lib with
     | Ok net' ->
       { stats = Some (measure net' ~lib); note = ""; verified = check net' }
     | Error msg -> { stats = None; note = msg; verified = true }

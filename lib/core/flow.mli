@@ -30,15 +30,21 @@ type row = {
   resynth_outcome : Resynth.outcome option;
 }
 
-val measure : Netlist.Network.t -> lib:Techmap.Genlib.t -> stats
+val measure :
+  ?timer:Sta.Incremental.t -> Netlist.Network.t -> lib:Techmap.Genlib.t ->
+  stats
+(** Clock period comes from [timer] when it is a handle for this very
+    network; a one-shot full analysis otherwise. *)
 
 val script_delay_flow :
   Netlist.Network.t -> lib:Techmap.Genlib.t -> Netlist.Network.t
 
 val retiming_flow :
-  Netlist.Network.t -> lib:Techmap.Genlib.t ->
+  ?current_period:float -> Netlist.Network.t -> lib:Techmap.Genlib.t ->
   (Netlist.Network.t, string) result
-(** Input must already be mapped (the output of {!script_delay_flow}). *)
+(** Input must already be mapped (the output of {!script_delay_flow}).
+    [current_period], when known (e.g. from {!measure} with a timer), skips
+    the full analysis inside the retiming candidate filter. *)
 
 val resynthesis_flow :
   ?options:Resynth.options -> Netlist.Network.t ->

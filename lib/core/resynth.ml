@@ -71,7 +71,7 @@ let make_path_fanout_free_clones net path =
           let c = N.add_logic net (N.cover_of node)
               (List.map (N.node net) (Array.to_list node.N.fanins))
           in
-          N.set_binding c node.N.binding;
+          N.set_binding net c node.N.binding;
           c
       in
       if drives_po then
@@ -93,8 +93,7 @@ let make_path_fanout_free net path =
    registers: forward retiming needs a register-fed head (the paper's
    "retimable gates" precondition).  [good v] marks nodes from which walking
    further back along critical fanins can reach such a head. *)
-let critical_path_for_engine net model =
-  let timing = Sta.analyze net model in
+let critical_path_from_timing net model timing =
   if timing.Sta.critical_end < 0 then []
   else begin
     let arrival = timing.Sta.arrival in
@@ -170,6 +169,9 @@ let critical_path_for_engine net model =
     in
     walk start []
   end
+
+let critical_path_for_engine net model =
+  critical_path_from_timing net model (Sta.analyze net model)
 
 (* --- step 4: DC_ret-driven cone simplification ------------------------------ *)
 
@@ -259,7 +261,11 @@ let resynthesize ?(options = default_options) original =
   let model = options.model in
   let original_period = Sta.clock_period original model in
   let net = N.copy original in
-  let path = critical_path_for_engine net model in
+  (* one timer per network: it serves the path extraction here and, when the
+     working copy survives to the post-passes unreplaced, the period checks
+     at the end of the pipeline *)
+  let timer = Sta.Incremental.create net model in
+  let path = critical_path_from_timing net model (Sta.Incremental.timing timer) in
   match path with
   | [] -> stats_zero (N.copy original) "no combinational logic" false
   | _ :: _ ->
@@ -290,28 +296,10 @@ let resynthesize ?(options = default_options) original =
         "no multiple-fanout registers feed the critical path" false
     else begin
       (* retiming engine: forward retiming across path nodes to a fixpoint *)
-      let forward_moves = ref 0 in
-      let new_latches = ref [] in
-      let engine_changed = ref true in
-      let iterations = ref 0 in
-      while !engine_changed && !iterations < 4 * List.length path_ids do
-        engine_changed := false;
-        incr iterations;
-        List.iter
-          (fun id ->
-            match N.node_opt net id with
-            | Some v when Retiming.Moves.is_forward_retimable net v -> begin
-                match Retiming.Moves.forward_across_node net v with
-                | Ok latch ->
-                  incr forward_moves;
-                  new_latches := latch :: !new_latches;
-                  engine_changed := true
-                | Error _ -> ()
-              end
-            | Some _ | None -> ())
-          path_ids
-      done;
-      if !forward_moves = 0 then
+      let forward_moves, new_latches =
+        Retiming.Moves.forward_fixpoint net path_ids
+      in
+      if forward_moves = 0 then
         stats_zero (N.copy original)
           "critical path has no retimable gates" false
       else begin
@@ -333,7 +321,8 @@ let resynthesize ?(options = default_options) original =
             end
           | Some _ | None -> ()
         in
-        List.iter simplify_data_of_latch !new_latches;
+        (* newest latches first, as the engine loop historically recorded *)
+        List.iter simplify_data_of_latch (List.rev new_latches);
         List.iter simplify_data_of_latch (N.latches net);
         List.iter
           (fun (_, driver) ->
@@ -361,19 +350,32 @@ let resynthesize ?(options = default_options) original =
            restructured logic usually admits a better placement (see
            DESIGN.md, ablation `postretime`) *)
         let net =
-          if options.retime_post then
-            match Retiming.Minperiod.retime_min_period net ~model with
+          if options.retime_post then begin
+            let current_period =
+              if Sta.Incremental.network timer == net then
+                Some (Sta.Incremental.period timer)
+              else None
+            in
+            match
+              Retiming.Minperiod.retime_min_period ?current_period net ~model
+            with
             | Ok (better, _) -> better
             | Error _ -> net
+          end
           else net
         in
-        (* constrained min-area retiming *)
-        let period_now = Sta.clock_period net model in
+        (* constrained min-area retiming, sharing one timer for the budget
+           measurement, the per-move checks and the final verdict *)
+        let timer =
+          if Sta.Incremental.network timer == net then timer
+          else Sta.Incremental.create net model
+        in
+        let period_now = Sta.Incremental.period timer in
         if options.min_area_post then
           ignore
-            (Retiming.Minarea.minimize_registers net ~model
+            (Retiming.Minarea.minimize_registers ~timer net ~model
                ~max_period:period_now);
-        let final_period = Sta.clock_period net model in
+        let final_period = Sta.Incremental.period timer in
         (* Accept only genuine gains: a faster clock, or the same clock with
            fewer registers.  This is the paper's open "how far should forward
            retiming be performed such that our technique can be stopped from
@@ -393,7 +395,7 @@ let resynthesize ?(options = default_options) original =
             stem_splits = !stem_splits;
             equivalence_classes =
               List.length (Dontcare.Classes.classes classes);
-            forward_moves = !forward_moves;
+            forward_moves;
             simplified_cones = !simplified }
         else
           { network = net;
@@ -402,7 +404,7 @@ let resynthesize ?(options = default_options) original =
             stem_splits = !stem_splits;
             equivalence_classes =
               List.length (Dontcare.Classes.classes classes);
-            forward_moves = !forward_moves;
+            forward_moves;
             simplified_cones = !simplified }
       end
     end

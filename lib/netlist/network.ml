@@ -28,6 +28,22 @@ type t = {
   mutable input_ids : int list;  (* reverse creation order *)
   mutable output_list : (string * int) list;  (* reverse creation order *)
   mutable name_counter : int;
+  (* change journal: ids touched by mutations, consumed by incremental
+     observers (Sta.Incremental).  [journal_base] is the global index of
+     [journal.(0)]; compaction advances it, invalidating older cursors. *)
+  mutable revision : int;
+  mutable journal : int array;
+  mutable journal_len : int;
+  mutable journal_base : int;
+  (* bumped whenever the primary-output list changes (add/retarget/remap);
+     observers caching per-output state compare against it *)
+  mutable outputs_revision : int;
+  (* cached combinational topological order: patched (appended) when fresh
+     logic nodes are allocated, invalidated when existing structure is
+     rewired.  See DESIGN.md, "Timing engine". *)
+  mutable topo_valid : bool;
+  mutable topo_order : node list;
+  mutable topo_appends : node list;  (* newest first; spliced on demand *)
 }
 
 let create ?(name = "network") () =
@@ -36,9 +52,63 @@ let create ?(name = "network") () =
     model = name;
     input_ids = [];
     output_list = [];
-    name_counter = 0 }
+    name_counter = 0;
+    revision = 0;
+    journal = Array.make 256 0;
+    journal_len = 0;
+    journal_base = 0;
+    outputs_revision = 0;
+    topo_valid = false;
+    topo_order = [];
+    topo_appends = [] }
 
 let model_name net = net.model
+
+let capacity net = net.next_id
+
+let revision net = net.revision
+let outputs_revision net = net.outputs_revision
+
+(* Beyond this size the journal is compacted (emptied, base advanced);
+   observers holding older cursors fall back to a full resync. *)
+let journal_cap = 1 lsl 20
+
+let touch net id =
+  net.revision <- net.revision + 1;
+  if net.journal_len = Array.length net.journal then begin
+    if net.journal_len >= journal_cap then begin
+      net.journal_base <- net.journal_base + net.journal_len;
+      net.journal_len <- 0
+    end
+    else begin
+      let b = Array.make (2 * Array.length net.journal) 0 in
+      Array.blit net.journal 0 b 0 net.journal_len;
+      net.journal <- b
+    end
+  end;
+  net.journal.(net.journal_len) <- id;
+  net.journal_len <- net.journal_len + 1
+
+type cursor = int
+
+let journal_mark net = net.journal_base + net.journal_len
+
+let journal_since net cursor =
+  if cursor < net.journal_base then None
+  else begin
+    let ids = ref [] in
+    for i = net.journal_len - 1 downto cursor - net.journal_base do
+      ids := net.journal.(i) :: !ids
+    done;
+    Some !ids
+  end
+
+let topo_invalidate net =
+  if net.topo_valid then begin
+    net.topo_valid <- false;
+    net.topo_order <- [];
+    net.topo_appends <- []
+  end
 
 let fresh_name net prefix =
   net.name_counter <- net.name_counter + 1;
@@ -55,6 +125,13 @@ let alloc net name kind fanins =
   in
   net.nodes.(net.next_id) <- Some n;
   net.next_id <- net.next_id + 1;
+  touch net n.id;
+  (* a fresh node has no consumers yet and reads only pre-existing nodes, so
+     the cached topological order extends by appending it *)
+  (match kind with
+   | Logic _ ->
+     if net.topo_valid then net.topo_appends <- n :: net.topo_appends
+   | Input | Const _ | Latch _ -> ());
   n
 
 let node net id =
@@ -69,15 +146,21 @@ let node_opt net id =
 
 let add_fanout net producer_id consumer_id =
   let p = node net producer_id in
-  p.fanouts <- consumer_id :: p.fanouts
+  p.fanouts <- consumer_id :: p.fanouts;
+  touch net producer_id;
+  touch net consumer_id
 
 let remove_fanout net producer_id consumer_id =
   let p = node net producer_id in
-  let rec remove_one = function
+  let rec remove_one acc = function
     | [] -> failwith "Network: fanout bookkeeping broken"
-    | x :: rest -> if x = consumer_id then rest else x :: remove_one rest
+    | x :: rest ->
+      if x = consumer_id then List.rev_append acc rest
+      else remove_one (x :: acc) rest
   in
-  p.fanouts <- remove_one p.fanouts
+  p.fanouts <- remove_one [] p.fanouts;
+  touch net producer_id;
+  touch net consumer_id
 
 let add_input net name =
   let n = alloc net name Input [||] in
@@ -104,15 +187,20 @@ let add_latch net ?name init data =
 let set_output net name n =
   if List.mem_assoc name net.output_list then
     invalid_arg (Printf.sprintf "Network.set_output: duplicate output %s" name);
-  net.output_list <- (name, n.id) :: net.output_list
+  net.output_list <- (name, n.id) :: net.output_list;
+  net.outputs_revision <- net.outputs_revision + 1;
+  touch net n.id
 
 let retarget_output net name n =
   if not (List.mem_assoc name net.output_list) then
     invalid_arg (Printf.sprintf "Network.retarget_output: no output %s" name);
+  touch net (List.assoc name net.output_list);
   net.output_list <-
     List.map
       (fun (nm, id) -> if nm = name then (nm, n.id) else (nm, id))
-      net.output_list
+      net.output_list;
+  net.outputs_revision <- net.outputs_revision + 1;
+  touch net n.id
 
 let fanin_nodes net n = Array.to_list n.fanins |> List.map (node net)
 
@@ -166,12 +254,13 @@ let num_logic net = List.length (logic_nodes net)
 let drives_output net n =
   List.exists (fun (_, id) -> id = n.id) net.output_list
 
-let set_cover _net n cover =
+let set_cover net n cover =
   match n.kind with
   | Logic old ->
     assert (cover.Logic.Cover.nvars = old.Logic.Cover.nvars);
     n.kind <- Logic cover;
-    n.binding <- None
+    n.binding <- None;
+    touch net n.id
   | Input | Const _ | Latch _ ->
     invalid_arg "Network.set_cover: not a logic node"
 
@@ -185,7 +274,9 @@ let set_function net n cover fanins =
   n.fanins <- Array.of_list (List.map (fun m -> m.id) fanins);
   Array.iter (fun f -> add_fanout net f n.id) n.fanins;
   n.kind <- Logic cover;
-  n.binding <- None
+  n.binding <- None;
+  touch net n.id;
+  topo_invalidate net
 
 let set_name n name = n.name <- name
 
@@ -200,13 +291,19 @@ let become_latch net n init data =
   n.kind <- Latch init;
   n.fanins <- [| data.id |];
   add_fanout net data.id n.id;
-  n.binding <- None
+  n.binding <- None;
+  touch net n.id;
+  topo_invalidate net
 
-let set_binding n b = n.binding <- b
+let set_binding net n b =
+  n.binding <- b;
+  touch net n.id
 
-let set_latch_init n init =
+let set_latch_init net n init =
   match n.kind with
-  | Latch _ -> n.kind <- Latch init
+  | Latch _ ->
+    n.kind <- Latch init;
+    touch net n.id
   | Input | Const _ | Logic _ ->
     invalid_arg "Network.set_latch_init: not a latch"
 
@@ -224,7 +321,11 @@ let replace_fanin net n ~old_fanin ~new_fanin =
   if not !changed then
     invalid_arg
       (Printf.sprintf "Network.replace_fanin: %s is not a fanin of %s"
-         old_fanin.name n.name)
+         old_fanin.name n.name);
+  (* rewiring a latch's data pin cannot reorder the combinational DAG *)
+  (match n.kind with
+   | Logic _ -> topo_invalidate net
+   | Input | Const _ | Latch _ -> ())
 
 let transfer_fanouts net ~from ~to_ =
   List.iter
@@ -232,14 +333,22 @@ let transfer_fanouts net ~from ~to_ =
       let consumer = node net consumer_id in
       Array.iteri
         (fun i f -> if f = from.id then consumer.fanins.(i) <- to_.id)
-        consumer.fanins)
+        consumer.fanins;
+      (match consumer.kind with
+       | Logic _ -> topo_invalidate net
+       | Input | Const _ | Latch _ -> ()))
     from.fanouts;
   List.iter (fun cid -> add_fanout net to_.id cid) from.fanouts;
   from.fanouts <- [];
-  net.output_list <-
-    List.map
-      (fun (name, id) -> if id = from.id then (name, to_.id) else (name, id))
-      net.output_list
+  touch net from.id;
+  touch net to_.id;
+  if List.exists (fun (_, id) -> id = from.id) net.output_list then begin
+    net.output_list <-
+      List.map
+        (fun (name, id) -> if id = from.id then (name, to_.id) else (name, id))
+        net.output_list;
+    net.outputs_revision <- net.outputs_revision + 1
+  end
 
 let delete net n =
   if n.fanouts <> [] then
@@ -249,8 +358,10 @@ let delete net n =
   Array.iter (fun f -> remove_fanout net f n.id) n.fanins;
   (match n.kind with
    | Input -> net.input_ids <- List.filter (fun id -> id <> n.id) net.input_ids
-   | Const _ | Logic _ | Latch _ -> ());
-  net.nodes.(n.id) <- None
+   | Const _ | Latch _ -> ()
+   | Logic _ -> topo_invalidate net);
+  net.nodes.(n.id) <- None;
+  touch net n.id
 
 let duplicate_for net n ~consumer =
   (match n.kind with
@@ -267,8 +378,10 @@ let duplicate_for net n ~consumer =
   replace_fanin net consumer ~old_fanin:n ~new_fanin:clone;
   clone
 
-(* Topological order of logic nodes; latches/inputs/constants are sources. *)
-let topo_combinational net =
+(* Topological order of logic nodes; latches/inputs/constants are sources.
+   [topo_recompute] always re-derives the order; [topo_combinational] serves
+   it from the cache maintained by the structural editors above. *)
+let topo_recompute net =
   let state = Hashtbl.create 256 in (* 0 = visiting, 1 = done *)
   let order = ref [] in
   let rec visit n =
@@ -286,6 +399,22 @@ let topo_combinational net =
   in
   List.iter visit (logic_nodes net);
   List.rev !order
+
+let topo_combinational net =
+  if net.topo_valid then begin
+    if net.topo_appends <> [] then begin
+      net.topo_order <- net.topo_order @ List.rev net.topo_appends;
+      net.topo_appends <- []
+    end;
+    net.topo_order
+  end
+  else begin
+    let order = topo_recompute net in
+    net.topo_valid <- true;
+    net.topo_order <- order;
+    net.topo_appends <- [];
+    order
+  end
 
 let transitive_fanin_cone net root =
   let state = Hashtbl.create 64 in
@@ -379,7 +508,8 @@ let check net =
   List.iter
     (fun (_, id) -> ignore (node net id))
     net.output_list;
-  ignore (topo_combinational net)
+  (* bypass the cache: [check] must verify acyclicity from scratch *)
+  ignore (topo_recompute net)
 
 let copy net =
   let out =
@@ -388,7 +518,15 @@ let copy net =
       model = net.model;
       input_ids = net.input_ids;
       output_list = net.output_list;
-      name_counter = net.name_counter }
+      name_counter = net.name_counter;
+      revision = 0;
+      journal = Array.make 256 0;
+      journal_len = 0;
+      journal_base = 0;
+      outputs_revision = 0;
+      topo_valid = false;
+      topo_order = [];
+      topo_appends = [] }
   in
   Array.iteri
     (fun i slot ->
@@ -413,7 +551,14 @@ let restore net snapshot =
   net.model <- fresh.model;
   net.input_ids <- fresh.input_ids;
   net.output_list <- fresh.output_list;
-  net.name_counter <- fresh.name_counter
+  net.name_counter <- fresh.name_counter;
+  (* wholesale replacement: stale all journal cursors and the topo cache so
+     observers resynchronize from scratch *)
+  net.revision <- net.revision + 1;
+  net.journal_base <- net.journal_base + net.journal_len + 1;
+  net.journal_len <- 0;
+  net.outputs_revision <- net.outputs_revision + 1;
+  topo_invalidate net
 
 let sweep net =
   let alive n = node_opt net n.id <> None in

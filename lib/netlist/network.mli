@@ -39,6 +39,38 @@ val create : ?name:string -> unit -> t
 
 val model_name : t -> string
 
+val capacity : t -> int
+(** One more than the largest node id ever allocated ([next_id]); a valid
+    length for arrays indexed by node id.  Deleted ids stay counted. *)
+
+(** {1 Change journal}
+
+    Every mutation that can affect timing or structure (node creation and
+    deletion, fanin/fanout rewiring, kind, cover, binding, latch init and
+    primary-output changes) appends the touched node ids to a journal and
+    bumps a monotonic revision counter.  Incremental observers
+    (e.g. {!Sta.Incremental}) record a {!journal_mark} cursor and later ask
+    for {!journal_since} to learn the dirty region.  The journal is bounded:
+    once it outgrows an internal cap it is compacted, after which older
+    cursors return [None] and observers must resynchronize from scratch.
+    {!restore} also invalidates all outstanding cursors. *)
+
+val revision : t -> int
+(** Monotonic mutation counter; equal revisions imply an unchanged network. *)
+
+val outputs_revision : t -> int
+(** Bumped whenever the primary-output list changes (new output, retarget,
+    fanout transfer remapping an output, {!restore}); lets observers cache
+    per-output state and detect staleness in O(1). *)
+
+type cursor
+
+val journal_mark : t -> cursor
+
+val journal_since : t -> cursor -> int list option
+(** Ids touched since the cursor, oldest first, possibly with duplicates;
+    [None] when the journal no longer reaches back that far. *)
+
 (** {1 Construction} *)
 
 val add_input : t -> string -> node
@@ -102,8 +134,8 @@ val become_latch : t -> node -> init -> node -> unit
 (** Convert a logic node in place into a latch with the given init and data
     fanin (used by the BLIF reader to resolve forward references). *)
 
-val set_binding : node -> binding option -> unit
-val set_latch_init : node -> init -> unit
+val set_binding : t -> node -> binding option -> unit
+val set_latch_init : t -> node -> init -> unit
 
 val replace_fanin : t -> node -> old_fanin:node -> new_fanin:node -> unit
 (** Rewire every occurrence of [old_fanin] in [node]'s fanin array. *)
@@ -122,7 +154,13 @@ val duplicate_for : t -> node -> consumer:node -> node
 
 val topo_combinational : t -> node list
 (** Logic nodes in topological order, treating latches, inputs and constants
-    as sources.  Raises [Failure] if a combinational cycle exists. *)
+    as sources.  Raises [Failure] if a combinational cycle exists.
+
+    The order is cached: allocating fresh nodes appends to the cache, while
+    rewiring existing structure ([set_function], [replace_fanin] on a logic
+    node, [become_latch], [transfer_fanouts], deleting a logic node)
+    invalidates it, so repeated calls between structural edits are cheap.
+    {!check} always re-derives the order from scratch. *)
 
 val transitive_fanin_cone : t -> node -> node list
 (** Logic nodes in the cone of the node, up to latches/inputs/constants,

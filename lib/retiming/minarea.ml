@@ -53,7 +53,16 @@ let backward_profit net v =
     outs - ins
   end
 
-let minimize_registers net ~model ~max_period =
+let minimize_registers ?timer net ~model ~max_period =
+  (* Every candidate move pays a period check; an incremental timer makes an
+     accepted move cost only its affected cone.  A rejected move reverts via
+     [N.restore], which stales the timer's journal cursor, so the next check
+     after a revert is a full resync — no worse than the old full STA. *)
+  let timer =
+    match timer with
+    | Some t when Sta.Incremental.network t == net -> t
+    | Some _ | None -> Sta.Incremental.create net model
+  in
   let eliminated = ref 0 in
   let improved = ref true in
   while !improved do
@@ -81,7 +90,7 @@ let minimize_registers net ~model ~max_period =
           | Error _ -> ()
           | Ok () ->
             let period_ok =
-              Sta.clock_period net model <= max_period +. 1e-9
+              Sta.Incremental.period timer <= max_period +. 1e-9
             in
             let gained = latches_before - N.num_latches net in
             if period_ok && gained > 0 then begin

@@ -14,5 +14,9 @@ val merge_all_siblings : Netlist.Network.t -> int
     registers eliminated. *)
 
 val minimize_registers :
+  ?timer:Sta.Incremental.t ->
   Netlist.Network.t -> model:Sta.model -> max_period:float -> int
-(** Mutates the network; returns the number of registers eliminated. *)
+(** Mutates the network; returns the number of registers eliminated.  The
+    per-move period checks run on [timer] when it is a handle for this very
+    network (a private handle is created otherwise), so callers already
+    holding one avoid repeated full analyses. *)

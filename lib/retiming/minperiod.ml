@@ -356,16 +356,19 @@ let retime ?(max_vertices = 1200) net ~model ~target =
   if g.nv > max_vertices then Error (Too_large g.nv)
   else retime_with g (wd_matrices g) net target
 
-let retime_min_period ?(max_vertices = 1200) net ~model =
+let retime_min_period ?(max_vertices = 1200) ?current_period net ~model =
   let g = build_graph net model in
   if g.nv > max_vertices then Error (Too_large g.nv)
   else begin
     let wd = wd_matrices g in
+    let current =
+      match current_period with
+      | Some p -> p
+      | None -> Sta.clock_period net model
+    in
     let candidates =
       Array.of_list
-        (List.filter
-           (fun c -> c < Sta.clock_period net model -. 1e-9)
-           (candidate_periods g wd))
+        (List.filter (fun c -> c < current -. 1e-9) (candidate_periods g wd))
     in
     let n = Array.length candidates in
     if n = 0 then Error Infeasible

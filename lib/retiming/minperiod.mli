@@ -39,12 +39,14 @@ val retime :
     modified. *)
 
 val retime_min_period :
-  ?max_vertices:int ->
+  ?max_vertices:int -> ?current_period:float ->
   Netlist.Network.t -> model:Sta.model ->
   (Netlist.Network.t * float, failure) result
 (** Retime to the minimum feasible period.  When realization fails at the
     optimum the next achievable candidate periods are tried before giving
-    up, mirroring practical retiming tools. *)
+    up, mirroring practical retiming tools.  Candidate periods are filtered
+    against [current_period] when given (e.g. from an incremental timer, see
+    {!Sta.Incremental}), saving the full analysis otherwise needed here. *)
 
 (**/**)
 

@@ -101,7 +101,7 @@ let forward_across_node net v =
     in
     let binding = v.N.binding in
     N.set_function net v (N.cover_of v) (Array.to_list targets);
-    N.set_binding v binding;
+    N.set_binding net v binding;
     (* clean up latches that lost all consumers (deduplicate: a node may
        read the same latch in several fanin positions) *)
     List.iter
@@ -248,3 +248,32 @@ let merge_siblings net latches =
 let siblings net latch =
   let data = N.latch_data net latch in
   List.filter N.is_latch (List.map (N.node net) data.N.fanouts)
+
+(* The resynthesis engine loop: forward retiming across a fixed candidate id
+   set, in order, repeated to a fixpoint.  The pass structure (re-scan the
+   whole id list after any success) matters: an early node may become
+   retimable only once a later one has moved its latches forward. *)
+let forward_fixpoint net ids =
+  let moves = ref 0 in
+  let latches = ref [] in
+  let changed = ref true in
+  let iterations = ref 0 in
+  let limit = 4 * List.length ids in
+  while !changed && !iterations < limit do
+    changed := false;
+    incr iterations;
+    List.iter
+      (fun id ->
+        match N.node_opt net id with
+        | Some v when is_forward_retimable net v -> begin
+            match forward_across_node net v with
+            | Ok latch ->
+              incr moves;
+              latches := latch :: !latches;
+              changed := true
+            | Error _ -> ()
+          end
+        | Some _ | None -> ())
+      ids
+  done;
+  (!moves, List.rev !latches)

@@ -50,3 +50,10 @@ val merge_siblings :
 
 val siblings : Netlist.Network.t -> Netlist.Network.node -> Netlist.Network.node list
 (** All latches sharing this latch's data input (including itself). *)
+
+val forward_fixpoint :
+  Netlist.Network.t -> int list -> int * Netlist.Network.node list
+(** Forward-retime across every retimable node of the id set, re-scanning the
+    list until no move applies (bounded by [4 * length] passes).  Deleted or
+    non-retimable ids are skipped.  Returns the move count and the created
+    latches, oldest first. *)

@@ -281,7 +281,7 @@ let map net ~lib ~objective =
   List.iter
     (fun l ->
       let nl = N.add_latch out ~name:l.N.name (N.latch_init l) (Lazy.force const0) in
-      N.set_binding nl
+      N.set_binding out nl
         (Some { N.gate_name = "dff"; gate_area = lib.Genlib.latch_area;
                 gate_delay = 0.0 });
       Hashtbl.add mapping l.N.id nl)
@@ -311,7 +311,7 @@ let map net ~lib ~objective =
             let node =
               N.add_logic out ~name:n.N.name g.Genlib.cover fanins
             in
-            N.set_binding node
+            N.set_binding out node
               (Some { N.gate_name = g.Genlib.gate_name;
                       gate_area = g.Genlib.area;
                       gate_delay = g.Genlib.delay });

@@ -261,6 +261,108 @@ let prop_blif_roundtrip_behaviour =
       let net2 = Netlist.Blif.parse_string (Netlist.Blif.to_string net) in
       Sim.Equiv.comb_equal_exhaustive net net2)
 
+(* --- change journal and topo cache ------------------------------------------ *)
+
+let test_journal_records_edits () =
+  let net = toggle_circuit () in
+  let r0 = N.revision net in
+  let mark = N.journal_mark net in
+  (match N.journal_since net mark with
+   | Some [] -> ()
+   | Some _ | None -> Alcotest.fail "fresh cursor must see an empty journal");
+  let out = match N.find_by_name net "out" with Some n -> n | None -> assert false in
+  N.set_cover net out or_cover;
+  Alcotest.(check bool) "revision bumped" true (N.revision net > r0);
+  (match N.journal_since net mark with
+   | Some ids -> Alcotest.(check bool) "edit recorded" true (List.mem out.N.id ids)
+   | None -> Alcotest.fail "cursor must still be reachable");
+  (* a second observer marking now sees only subsequent edits *)
+  let mark2 = N.journal_mark net in
+  let next = match N.find_by_name net "next" with Some n -> n | None -> assert false in
+  N.set_binding net next None;
+  (match N.journal_since net mark2 with
+   | Some ids ->
+     Alcotest.(check bool) "only the new edit" true
+       (List.mem next.N.id ids && not (List.mem out.N.id ids))
+   | None -> Alcotest.fail "second cursor must be reachable")
+
+let test_journal_staled_by_restore () =
+  let net = toggle_circuit () in
+  let snapshot = N.copy net in
+  let mark = N.journal_mark net in
+  let out = match N.find_by_name net "out" with Some n -> n | None -> assert false in
+  N.set_cover net out or_cover;
+  N.restore net snapshot;
+  (match N.journal_since net mark with
+   | None -> ()
+   | Some _ -> Alcotest.fail "restore must invalidate outstanding cursors")
+
+let test_journal_compaction () =
+  let net = toggle_circuit () in
+  let mark = N.journal_mark net in
+  let out = match N.find_by_name net "out" with Some n -> n | None -> assert false in
+  (* overflow the bounded journal; each set_binding touches one id *)
+  for _ = 1 to 2_000_000 do N.set_binding net out None done;
+  (match N.journal_since net mark with
+   | None -> ()
+   | Some _ -> Alcotest.fail "compaction must invalidate old cursors");
+  (* a fresh cursor works again *)
+  let mark2 = N.journal_mark net in
+  N.set_binding net out None;
+  (match N.journal_since net mark2 with
+   | Some ids -> Alcotest.(check bool) "fresh cursor sees edit" true (List.mem out.N.id ids)
+   | None -> Alcotest.fail "fresh cursor must be reachable")
+
+let assert_topo_valid net order =
+  (* every logic node appears exactly once, after all its logic fanins *)
+  let logic = N.logic_nodes net in
+  Alcotest.(check int) "all logic nodes present" (List.length logic)
+    (List.length order);
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      Array.iter
+        (fun f ->
+          if N.is_logic (N.node net f) then
+            Alcotest.(check bool) "fanin ordered before node" true
+              (Hashtbl.mem seen f))
+        n.N.fanins;
+      Hashtbl.replace seen n.N.id ())
+    order
+
+let test_topo_cache_tracks_edits () =
+  let net = toggle_circuit () in
+  assert_topo_valid net (N.topo_combinational net);
+  (* append: fresh logic nodes extend the cached order *)
+  let en = match N.find_by_name net "en" with Some n -> n | None -> assert false in
+  let g = N.add_logic net ~name:"g" inv_cover [ en ] in
+  let h = N.add_logic net ~name:"h" and_cover [ g; en ] in
+  N.set_output net "g_out" h;
+  assert_topo_valid net (N.topo_combinational net);
+  (* rewire: invalidates and re-derives *)
+  let out = match N.find_by_name net "out" with Some n -> n | None -> assert false in
+  N.replace_fanin net out ~old_fanin:en ~new_fanin:h;
+  assert_topo_valid net (N.topo_combinational net);
+  N.set_function net g inv_cover [ en ];
+  assert_topo_valid net (N.topo_combinational net);
+  N.check net
+
+let test_deep_fanout_edit () =
+  (* remove_fanout must handle very long fanout lists (tail recursion) *)
+  let net = N.create ~name:"deep" () in
+  let a = N.add_input net "a" in
+  let consumers =
+    List.init 200_000 (fun i ->
+        N.add_logic net ~name:(Printf.sprintf "b%d" i) inv_cover [ a ])
+  in
+  let last = List.nth consumers (200_000 - 1) in
+  N.set_output net "o" last;
+  Alcotest.(check int) "fanout count" 200_000 (List.length a.N.fanouts);
+  (* deleting a consumer walks a's 200k-entry fanout list *)
+  let victim = List.hd consumers in
+  N.delete net victim;
+  Alcotest.(check int) "fanout removed" 199_999 (List.length a.N.fanouts)
+
 let () =
   Alcotest.run "netlist"
     [ ( "network",
@@ -276,6 +378,14 @@ let () =
           Alcotest.test_case "sweep dangling" `Quick test_sweep_dangling;
           Alcotest.test_case "cones" `Quick test_cone;
           Alcotest.test_case "copy independence" `Quick test_copy_independent ] );
+      ( "journal",
+        [ Alcotest.test_case "records edits" `Quick test_journal_records_edits;
+          Alcotest.test_case "staled by restore" `Quick
+            test_journal_staled_by_restore;
+          Alcotest.test_case "compaction" `Quick test_journal_compaction;
+          Alcotest.test_case "topo cache tracks edits" `Quick
+            test_topo_cache_tracks_edits;
+          Alcotest.test_case "deep fanout edit" `Quick test_deep_fanout_edit ] );
       ( "verilog",
         [ Alcotest.test_case "writer" `Quick test_verilog_writer;
           Alcotest.test_case "sanitization" `Quick

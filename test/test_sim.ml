@@ -131,7 +131,7 @@ let test_seq_equal_bdd_negative () =
   let b = toggle () in
   (* flip b's initial state: observable in the first cycle *)
   let r = match N.find_by_name b "r" with Some n -> n | None -> assert false in
-  N.set_latch_init r N.I1;
+  N.set_latch_init b r N.I1;
   Alcotest.(check bool) "different init detected" false
     (Sim.Equiv.seq_equal_bdd a b)
 
@@ -200,7 +200,7 @@ let test_delayed_replacement_stem_with_mixed_inits () =
   let split = N.copy original in
   let r' = N.node split r.N.id in
   (match Retiming.Moves.split_stem split r' with
-   | [ _; copy ] -> N.set_latch_init copy N.I1 (* sabotage the initial value *)
+   | [ _; copy ] -> N.set_latch_init split copy N.I1 (* sabotage the initial value *)
    | _ -> Alcotest.fail "expected two copies");
   Alcotest.(check bool) "not equivalent with mixed inits" false
     (Sim.Equiv.seq_equal_bdd original split);
