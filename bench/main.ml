@@ -242,6 +242,207 @@ let sta_bench ?(emit_json = true) ~circuits () =
   end;
   rows
 
+(* --- 3d. Packed vs legacy cube kernel ------------------------------------------------ *)
+
+(* The same workload runs against the packed kernel ({!Logic.Cube}) and the
+   legacy one-variant-per-literal arrays ({!Logic.Cube_ref}), built from
+   identical cube strings, with checksums compared so a representation bug
+   cannot masquerade as a speedup. *)
+
+module type CUBE_OPS = sig
+  type t
+  val of_string : string -> t
+  val contains : t -> t -> bool
+  val intersect : t -> t -> t option
+  val distance : t -> t -> int
+  val supercube : t -> t -> t
+  val lit_count : t -> int
+  val compare : t -> t -> int
+end
+
+module Cube_workload (C : CUBE_OPS) = struct
+  let build strings = Array.map C.of_string strings
+
+  (* Each pass returns an int checksum over the whole sweep. *)
+  let contains_sweep cubes () =
+    let count = ref 0 and n = Array.length cubes in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if C.contains cubes.(i) cubes.(j) then incr count
+      done
+    done;
+    !count
+
+  let intersect_sweep cubes () =
+    let acc = ref 0 and n = Array.length cubes in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        match C.intersect cubes.(i) cubes.(j) with
+        | Some c -> acc := !acc + C.lit_count c
+        | None -> incr acc
+      done
+    done;
+    !acc
+
+  let distance_sweep cubes () =
+    let acc = ref 0 and n = Array.length cubes in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        acc := !acc + C.distance cubes.(i) cubes.(j)
+      done
+    done;
+    !acc
+
+  let supercube_fold cubes () =
+    let acc = ref cubes.(0) in
+    for i = 1 to Array.length cubes - 1 do
+      acc := C.supercube !acc cubes.(i)
+    done;
+    C.lit_count !acc
+
+  let sort_pass cubes () =
+    let copy = Array.copy cubes in
+    Array.sort C.compare copy;
+    C.lit_count copy.(0)
+
+  let passes cubes =
+    [ ("contains-sweep", contains_sweep cubes);
+      ("intersect-sweep", intersect_sweep cubes);
+      ("distance-sweep", distance_sweep cubes);
+      ("supercube-fold", supercube_fold cubes);
+      ("sort", sort_pass cubes) ]
+end
+
+module Packed_work = Cube_workload (Logic.Cube)
+module Legacy_work = Cube_workload (Logic.Cube_ref)
+
+let random_cube_strings st ~vars ~cubes =
+  Array.init cubes (fun _ ->
+      String.init vars (fun _ ->
+          (* half don't-care keeps sweeps from degenerating to all-disjoint *)
+          match Random.State.int st 4 with
+          | 0 -> '0'
+          | 1 -> '1'
+          | _ -> '-'))
+
+(* Adaptive timer: grow the repetition count until a pass takes [min_s]
+   wall-clock, then report seconds per pass. *)
+let time_pass ?(min_s = 0.2) f =
+  ignore (f ());
+  let rec calibrate reps =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do ignore (f ()) done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= min_s then dt /. float_of_int reps else calibrate (reps * 4)
+  in
+  calibrate 1
+
+let logic_bench ?(emit_json = true) ?(quick = false) () =
+  section "Packed vs legacy cube kernel (identical random workloads)";
+  let widths = if quick then [ 16; 64 ] else [ 16; 63; 128; 200 ] in
+  let cubes = if quick then 96 else 192 in
+  let min_s = if quick then 0.05 else 0.2 in
+  let st = Random.State.make [| 0x5eed; 0xcbe |] in
+  let results = ref [] in
+  List.iter
+    (fun vars ->
+      let strings = random_cube_strings st ~vars ~cubes in
+      let packed = Packed_work.build strings
+      and legacy = Legacy_work.build strings in
+      List.iter2
+        (fun (name, packed_pass) (name', legacy_pass) ->
+          assert (name = name');
+          let packed_sum = packed_pass () and legacy_sum = legacy_pass () in
+          if packed_sum <> legacy_sum then begin
+            Printf.eprintf
+              "logic bench: checksum mismatch on %s vars=%d (packed %d, \
+               legacy %d)\n"
+              name vars packed_sum legacy_sum;
+            exit 1
+          end;
+          let legacy_s = time_pass ~min_s legacy_pass in
+          let packed_s = time_pass ~min_s packed_pass in
+          let speedup = legacy_s /. packed_s in
+          Printf.printf
+            "  %-16s vars=%-3d cubes=%d  legacy %10.1f us  packed %8.1f us  \
+             speedup %6.2fx\n%!"
+            name vars cubes (legacy_s *. 1e6) (packed_s *. 1e6) speedup;
+          results := (name, vars, legacy_s, packed_s, speedup) :: !results)
+        (Packed_work.passes packed) (Legacy_work.passes legacy))
+    widths;
+  let results = List.rev !results in
+  let geomean =
+    exp
+      (List.fold_left (fun acc (_, _, _, _, s) -> acc +. log s) 0.0 results
+      /. float_of_int (List.length results))
+  in
+  Printf.printf "  geometric-mean speedup: %.2fx\n" geomean;
+  if emit_json then begin
+    let oc = open_out "BENCH_logic.json" in
+    Printf.fprintf oc
+      "{\n  \"benchmark\": \"packed vs legacy cube kernel\",\n\
+      \  \"unit\": \"ns_per_pass\",\n  \"cubes_per_set\": %d,\n\
+      \  \"geomean_speedup\": %.2f,\n  \"ops\": [\n"
+      cubes geomean;
+    List.iteri
+      (fun i (name, vars, legacy_s, packed_s, speedup) ->
+        Printf.fprintf oc
+          "    { \"op\": \"%s\", \"vars\": %d, \"legacy_ns\": %.0f, \
+           \"packed_ns\": %.0f, \"speedup\": %.2f }%s\n"
+          name vars (legacy_s *. 1e9) (packed_s *. 1e9) speedup
+          (if i = List.length results - 1 then "" else ","))
+      results;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "  -> BENCH_logic.json\n"
+  end;
+  geomean
+
+(* --- 3e. Serial vs domain-parallel Table I ------------------------------------------- *)
+
+let suite_bench ?(emit_json = true) ?(verify = true) ?names ?(jobs = 4) () =
+  section
+    (Printf.sprintf "Table I suite: serial vs %d-domain parallel run" jobs);
+  let run jobs =
+    let t0 = Unix.gettimeofday () in
+    let rows = Report.Table.run_suite ~verify ?names ~jobs () in
+    let dt = Unix.gettimeofday () -. t0 in
+    (Report.Table.render rows ^ Report.Table.summary rows, dt)
+  in
+  let serial_out, serial_s = run 1 in
+  let parallel_out, parallel_s = run jobs in
+  if not (String.equal serial_out parallel_out) then begin
+    Printf.eprintf
+      "suite bench: --jobs 1 and --jobs %d outputs DIFFER — determinism bug\n"
+      jobs;
+    exit 1
+  end;
+  let speedup = serial_s /. parallel_s in
+  let rows =
+    match names with
+    | Some ns -> List.length ns
+    | None -> List.length Circuits.Suite.entries
+  in
+  Printf.printf
+    "  %d rows, verify=%b: serial %.1fs, %d jobs %.1fs, speedup %.2fx \
+     (output byte-identical)\n"
+    rows verify serial_s jobs parallel_s speedup;
+  Printf.printf "  available cores (recommended_domain_count): %d\n"
+    (Domain.recommended_domain_count ());
+  if emit_json then begin
+    let oc = open_out "BENCH_suite.json" in
+    Printf.fprintf oc
+      "{\n  \"benchmark\": \"Table I suite, serial vs domain-parallel\",\n\
+      \  \"rows\": %d,\n  \"verify\": %b,\n  \"jobs\": %d,\n\
+      \  \"cores\": %d,\n  \"serial_s\": %.2f,\n  \"parallel_s\": %.2f,\n\
+      \  \"speedup\": %.2f,\n  \"byte_identical\": true\n}\n"
+      rows verify jobs (Domain.recommended_domain_count ()) serial_s
+      parallel_s speedup;
+    close_out oc;
+    Printf.printf "  -> BENCH_suite.json\n"
+  end;
+  speedup
+
 (* --- 4. Bechamel kernels ------------------------------------------------------------ *)
 
 let bechamel_kernels () =
@@ -366,16 +567,45 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let smoke = List.mem "--smoke" args in
   let sta_only = List.mem "--sta" args in
+  let logic_only = List.mem "--logic" args in
+  let suite_only = List.mem "--suite" args in
+  let quick = List.mem "--quick" args in
+  (* value of a "--flag v" pair, if present *)
+  let arg_value flag =
+    let rec find = function
+      | f :: v :: _ when f = flag -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let names =
+    Option.map (String.split_on_char ',') (arg_value "--names")
+  in
+  let jobs =
+    match Option.map int_of_string (arg_value "--jobs") with
+    | Some j when j >= 1 -> j
+    | Some _ -> 4
+    | None -> 4
+  in
   Printf.printf
     "Retiming-induced state register equivalence: evaluation harness%s\n"
-    (if smoke then " (smoke)" else if sta_only then " (sta)" else "");
+    (if smoke then " (smoke)"
+     else if sta_only then " (sta)"
+     else if logic_only then " (logic)"
+     else if suite_only then " (suite)"
+     else "");
   if sta_only then
     ignore (sta_bench ~circuits:[ "s641"; "s1196"; "s1238"; "s5378" ] ())
+  else if logic_only then ignore (logic_bench ~quick ())
+  else if suite_only then
+    ignore (suite_bench ~verify:(not quick) ?names ~jobs ())
   else if smoke then begin
     (* CI-sized pass: the Section III example end to end plus the STA
        comparison on a small circuit; no JSON, no Bechamel quotas *)
     section3_example ();
     ignore (sta_bench ~emit_json:false ~circuits:[ "s298"; "s641" ] ());
+    ignore (logic_bench ~emit_json:false ~quick:true ());
     Printf.printf "\nsmoke ok.\n"
   end
   else begin
@@ -384,6 +614,8 @@ let () =
     ablations ();
     min_register_extension ();
     ignore (sta_bench ~circuits:[ "s641"; "s1196"; "s1238"; "s5378" ] ());
+    ignore (logic_bench ());
+    ignore (suite_bench ~jobs ());
     bechamel_kernels ();
     Printf.printf "\ndone.\n"
   end

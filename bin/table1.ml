@@ -1,9 +1,47 @@
-(* Standalone Table I regeneration (also part of bench/main.exe). *)
+(* Standalone Table I regeneration (also part of bench/main.exe).
+
+   Usage: table1 [--jobs N] [--names a,b,c] [--no-verify]
+
+   --jobs N    run N suite rows in parallel domains (default 1; 0 = one per
+               recommended core).  Output is byte-identical for every N.
+   --names     comma-separated subset of suite circuits
+   --no-verify skip the sequential-equivalence check on each flow result *)
 
 let () =
+  let jobs = ref 1 in
+  let names = ref None in
+  let verify = ref true in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some j when j >= 0 -> jobs := j
+       | Some _ | None ->
+         prerr_endline "table1: --jobs expects a non-negative integer";
+         exit 2);
+      parse rest
+    | "--names" :: csv :: rest ->
+      names := Some (String.split_on_char ',' csv);
+      parse rest
+    | "--no-verify" :: rest ->
+      verify := false;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf
+        "table1: unknown argument %s\n\
+         usage: table1 [--jobs N] [--names a,b,c] [--no-verify]\n"
+        arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let jobs = if !jobs = 0 then Core.Parallel.default_jobs () else !jobs in
   let t0 = Unix.gettimeofday () in
-  let rows = Report.Table.run_suite () in
+  let rows =
+    Report.Table.run_suite ~verify:!verify ?names:!names ~jobs ()
+  in
   print_string (Report.Table.render rows);
   print_newline ();
   print_string (Report.Table.summary rows);
-  Printf.printf "regenerated in %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "regenerated in %.1fs (%d jobs)\n"
+    (Unix.gettimeofday () -. t0)
+    jobs

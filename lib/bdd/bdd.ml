@@ -6,32 +6,64 @@ type t = int
 let bfalse : t = 0
 let btrue : t = 1
 
+(* The unique table is open-addressing with linear probing over parallel int
+   arrays — the (var, low, high) key lives in three flat arrays instead of an
+   allocated tuple, and the hash is an integer mix rather than the polymorphic
+   hash.  The ITE memo is a bounded direct-mapped computed table (overwrite on
+   collision), so the reachability fixpoint never churns tuple keys through a
+   growing Hashtbl. *)
 type man = {
   mutable var_of : int array;   (* variable level of each node *)
   mutable low_of : int array;
   mutable high_of : int array;
   mutable next_id : int;
-  unique : (int * int * int, int) Hashtbl.t;      (* (var, low, high) -> id *)
-  ite_cache : (int * int * int, int) Hashtbl.t;
+  (* unique table: u_id.(slot) = -1 marks an empty slot *)
+  mutable u_var : int array;
+  mutable u_low : int array;
+  mutable u_high : int array;
+  mutable u_id : int array;
+  mutable u_count : int;
+  mutable u_mask : int;         (* capacity - 1; capacity is a power of 2 *)
+  (* direct-mapped ITE cache: c_f.(slot) = -1 marks an empty slot *)
+  c_f : int array;
+  c_g : int array;
+  c_h : int array;
+  c_r : int array;
+  c_mask : int;
   exists_cache : (int, int) Hashtbl.t;            (* scoped per-call via clear *)
   mutable exists_vars : int list;
 }
 
 let terminal_var = max_int
 
+(* Fibonacci-style multiplicative mix of a packed triple; the three odd
+   constants keep var/low/high from cancelling in the xor. *)
+let hash3 v low high =
+  let h = (v * 0x9E3779B1) lxor (low * 0x85EBCA77) lxor (high * 0xC2B2AE3D) in
+  h lxor (h lsr 17)
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
 let create ?(cache_size = 1 lsl 14) () =
   let cap = 1024 in
-  let man =
-    { var_of = Array.make cap terminal_var;
-      low_of = Array.make cap (-1);
-      high_of = Array.make cap (-1);
-      next_id = 2;
-      unique = Hashtbl.create cache_size;
-      ite_cache = Hashtbl.create cache_size;
-      exists_cache = Hashtbl.create 256;
-      exists_vars = [] }
-  in
-  man
+  let ccap = next_pow2 (max 1024 cache_size) 1024 in
+  { var_of = Array.make cap terminal_var;
+    low_of = Array.make cap (-1);
+    high_of = Array.make cap (-1);
+    next_id = 2;
+    u_var = Array.make (2 * cap) 0;
+    u_low = Array.make (2 * cap) 0;
+    u_high = Array.make (2 * cap) 0;
+    u_id = Array.make (2 * cap) (-1);
+    u_count = 0;
+    u_mask = (2 * cap) - 1;
+    c_f = Array.make ccap (-1);
+    c_g = Array.make ccap 0;
+    c_h = Array.make ccap 0;
+    c_r = Array.make ccap 0;
+    c_mask = ccap - 1;
+    exists_cache = Hashtbl.create 256;
+    exists_vars = [] }
 
 let grow man =
   let cap = Array.length man.var_of in
@@ -44,21 +76,62 @@ let grow man =
   man.low_of <- resize man.low_of (-1);
   man.high_of <- resize man.high_of (-1)
 
+let rehash_unique man =
+  let cap = (man.u_mask + 1) * 2 in
+  let u_var = Array.make cap 0
+  and u_low = Array.make cap 0
+  and u_high = Array.make cap 0
+  and u_id = Array.make cap (-1) in
+  let mask = cap - 1 in
+  for i = 0 to man.u_mask do
+    let id = man.u_id.(i) in
+    if id >= 0 then begin
+      let s = ref (hash3 man.u_var.(i) man.u_low.(i) man.u_high.(i) land mask) in
+      while u_id.(!s) >= 0 do
+        s := (!s + 1) land mask
+      done;
+      u_var.(!s) <- man.u_var.(i);
+      u_low.(!s) <- man.u_low.(i);
+      u_high.(!s) <- man.u_high.(i);
+      u_id.(!s) <- id
+    end
+  done;
+  man.u_var <- u_var;
+  man.u_low <- u_low;
+  man.u_high <- u_high;
+  man.u_id <- u_id;
+  man.u_mask <- mask
+
 let mk man v low high =
   if low = high then low
   else begin
-    let key = (v, low, high) in
-    match Hashtbl.find_opt man.unique key with
-    | Some id -> id
-    | None ->
+    (* grow at 2/3 load so probe chains stay short *)
+    if 3 * man.u_count >= 2 * (man.u_mask + 1) then rehash_unique man;
+    let mask = man.u_mask in
+    let s = ref (hash3 v low high land mask) in
+    let found = ref (-2) in
+    while !found = -2 do
+      let id = man.u_id.(!s) in
+      if id < 0 then found := -1
+      else if man.u_var.(!s) = v && man.u_low.(!s) = low && man.u_high.(!s) = high
+      then found := id
+      else s := (!s + 1) land mask
+    done;
+    if !found >= 0 then !found
+    else begin
       if man.next_id >= Array.length man.var_of then grow man;
       let id = man.next_id in
       man.next_id <- id + 1;
       man.var_of.(id) <- v;
       man.low_of.(id) <- low;
       man.high_of.(id) <- high;
-      Hashtbl.add man.unique key id;
+      man.u_var.(!s) <- v;
+      man.u_low.(!s) <- low;
+      man.u_high.(!s) <- high;
+      man.u_id.(!s) <- id;
+      man.u_count <- man.u_count + 1;
       id
+    end
   end
 
 let var man i =
@@ -80,10 +153,10 @@ let rec ite man f g h =
   else if g = h then g
   else if g = btrue && h = bfalse then f
   else begin
-    let key = (f, g, h) in
-    match Hashtbl.find_opt man.ite_cache key with
-    | Some r -> r
-    | None ->
+    let slot = hash3 f g h land man.c_mask in
+    if man.c_f.(slot) = f && man.c_g.(slot) = g && man.c_h.(slot) = h then
+      man.c_r.(slot)
+    else begin
       let v =
         min (var_of man f) (min (var_of man g) (var_of man h))
       in
@@ -95,8 +168,12 @@ let rec ite man f g h =
       let hi = ite man (cof f true) (cof g true) (cof h true) in
       let lo = ite man (cof f false) (cof g false) (cof h false) in
       let r = mk man v lo hi in
-      Hashtbl.add man.ite_cache key r;
+      man.c_f.(slot) <- f;
+      man.c_g.(slot) <- g;
+      man.c_h.(slot) <- h;
+      man.c_r.(slot) <- r;
       r
+    end
   end
 
 let bnot man f = ite man f bfalse btrue
@@ -286,7 +363,7 @@ let eval man f assign =
 let of_cover man cover =
   let cube_bdd c =
     let acc = ref btrue in
-    Array.iteri
+    Logic.Cube.iteri
       (fun v l ->
         match l with
         | Logic.Cube.One -> acc := band man !acc (var man v)
@@ -320,7 +397,7 @@ let to_cover ?(max_cubes = max_int) man ~nvars f =
   go f [];
   let cube_of assignments =
     let c = Logic.Cube.universe nvars in
-    List.iter (fun (v, l) -> c.(v) <- l) assignments;
+    List.iter (fun (v, l) -> Logic.Cube.set c v l) assignments;
     c
   in
   Logic.Cover.make nvars (List.map cube_of !cubes)

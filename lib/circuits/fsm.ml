@@ -82,12 +82,12 @@ let to_network m =
   let product t =
     let cube = Logic.Cube.universe nvars in
     for j = 0 to nbits - 1 do
-      cube.(j) <-
+      Logic.Cube.set cube j
         (if t.from_state land (1 lsl j) <> 0 then Logic.Cube.One
          else Logic.Cube.Zero)
     done;
-    Array.iteri
-      (fun v l -> if l <> Logic.Cube.Both then cube.(nbits + v) <- l)
+    Logic.Cube.iteri
+      (fun v l -> if l <> Logic.Cube.Both then Logic.Cube.set cube (nbits + v) l)
       t.input_cube;
     cube
   in

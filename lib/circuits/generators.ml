@@ -28,7 +28,7 @@ let rec random_cover rng k =
     let nlits = 1 + Random.State.int rng k in
     for _ = 1 to nlits do
       let v = Random.State.int rng k in
-      c.(v) <-
+      Logic.Cube.set c v
         (if Random.State.bool rng then Logic.Cube.One else Logic.Cube.Zero)
     done;
     c

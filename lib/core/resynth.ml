@@ -216,12 +216,13 @@ let simplify_cone net classes ~dc_mode ~max_cone_leaves root =
         let substitute_cube cube =
           let out = Logic.Cube.universe nvars in
           let consistent = ref true in
-          Array.iteri
+          Logic.Cube.iteri
             (fun v l ->
               if l <> Logic.Cube.Both then begin
                 let v' = canon.(v) in
-                if out.(v') = Logic.Cube.Both then out.(v') <- l
-                else if out.(v') <> l then consistent := false
+                if Logic.Cube.get out v' = Logic.Cube.Both then
+                  Logic.Cube.set out v' l
+                else if Logic.Cube.get out v' <> l then consistent := false
               end)
             cube;
           if !consistent then Some out else None

@@ -57,8 +57,8 @@ let dc_cover t ~nvars ~var_of_latch =
   let add_pair va vb =
     let xor_cube la lb =
       let c = Logic.Cube.universe nvars in
-      c.(va) <- la;
-      c.(vb) <- lb;
+      Logic.Cube.set c va la;
+      Logic.Cube.set c vb lb;
       c
     in
     cubes := xor_cube Logic.Cube.One Logic.Cube.Zero :: !cubes;

@@ -41,7 +41,7 @@ let collapse ?(max_leaves = 14) net root =
           let fanins = Array.map value_of n.N.fanins in
           let cube_bdd cube =
             let acc = ref Bdd.btrue in
-            Array.iteri
+            Logic.Cube.iteri
               (fun i l ->
                 match l with
                 | Logic.Cube.One -> acc := Bdd.band man !acc fanins.(i)

@@ -45,7 +45,7 @@ let unreachable_states ?(max_latches = 24) ?(max_bdd_nodes = 2_000_000) net =
       let cover = N.cover_of n in
       let cube_bdd cube =
         let acc = ref Bdd.btrue in
-        Array.iteri
+        Logic.Cube.iteri
           (fun i l ->
             match l with
             | Logic.Cube.One -> acc := Bdd.band man !acc fanins.(i)
@@ -142,7 +142,7 @@ let simplify_with_unreachable ?(max_latches = 24) ?(max_leaves = 14) net =
         List.filter
           (fun cube ->
             let ok = ref true in
-            Array.iteri
+            Logic.Cube.iteri
               (fun v l ->
                 if l <> Logic.Cube.Both && not (Hashtbl.mem var_in_cone v) then
                   ok := false)
@@ -154,10 +154,10 @@ let simplify_with_unreachable ?(max_latches = 24) ?(max_leaves = 14) net =
         List.map
           (fun cube ->
             let c = Logic.Cube.universe nvars in
-            Array.iteri
+            Logic.Cube.iteri
               (fun v l ->
                 if l <> Logic.Cube.Both then
-                  c.(Hashtbl.find var_in_cone v) <- l)
+                  Logic.Cube.set c (Hashtbl.find var_in_cone v) l)
               cube;
             c)
           usable

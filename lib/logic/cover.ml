@@ -29,35 +29,42 @@ let cofactor f v value =
 
 let cube_cofactor f cube =
   (* Cofactor of each cube of [f] against [cube]: drop disjoint cubes and
-     raise the variables bound by [cube]. *)
-  let cof c =
-    if Cube.intersect c cube = None then None
-    else begin
-      let out = Array.copy c in
-      for v = 0 to f.nvars - 1 do
-        if Cube.depends_on cube v then out.(v) <- Cube.Both
-      done;
-      Some out
-    end
-  in
-  { f with cubes = List.filter_map cof f.cubes }
+     raise the variables bound by [cube] — word-parallel per cube. *)
+  { f with cubes = List.filter_map (fun c -> Cube.cube_cofactor c cube) f.cubes }
 
 let union a b =
   assert (a.nvars = b.nvars);
   { a with cubes = a.cubes @ b.cubes }
 
 let single_cube_containment f =
-  let rec keep acc = function
-    | [] -> List.rev acc
-    | c :: rest ->
-      let covered_by d = (not (Cube.equal c d)) && Cube.contains d c in
-      if List.exists covered_by acc || List.exists covered_by rest then
-        keep acc rest
-      else keep (c :: acc) rest
-  in
   (* Deduplicate first so identical cubes do not protect each other. *)
-  let dedup = List.sort_uniq Cube.compare f.cubes in
-  { f with cubes = keep [] dedup }
+  let dedup = Array.of_list (List.sort_uniq Cube.compare f.cubes) in
+  let k = Array.length dedup in
+  if k <= 1 then { f with cubes = Array.to_list dedup }
+  else begin
+    (* Signature and literal-count prefilters: [contains d c] requires
+       [sig c land lnot (sig d) = 0] and [lit_count d < lit_count c] (strict,
+       because distinct cubes of equal literal count cannot contain each
+       other).  Both reject in O(1) before the word sweep. *)
+    let sigs = Array.map Cube.signature dedup in
+    let counts = Array.map Cube.lit_count dedup in
+    let covered i =
+      let rec probe j =
+        j < k
+        && ((j <> i
+             && counts.(j) < counts.(i)
+             && sigs.(i) land lnot sigs.(j) = 0
+             && Cube.contains dedup.(j) dedup.(i))
+            || probe (j + 1))
+      in
+      probe 0
+    in
+    let out = ref [] in
+    for i = k - 1 downto 0 do
+      if not (covered i) then out := dedup.(i) :: !out
+    done;
+    { f with cubes = !out }
+  end
 
 let depends_on f v = List.exists (fun c -> Cube.depends_on c v) f.cubes
 
@@ -74,12 +81,13 @@ let binate_select f =
   let n = f.nvars in
   let pos = Array.make n 0 and neg = Array.make n 0 in
   let count c =
-    for v = 0 to n - 1 do
-      match c.(v) with
-      | Cube.One -> pos.(v) <- pos.(v) + 1
-      | Cube.Zero -> neg.(v) <- neg.(v) + 1
-      | Cube.Both -> ()
-    done
+    Cube.iteri
+      (fun v l ->
+        match l with
+        | Cube.One -> pos.(v) <- pos.(v) + 1
+        | Cube.Zero -> neg.(v) <- neg.(v) + 1
+        | Cube.Both -> ())
+      c
   in
   List.iter count f.cubes;
   let best = ref (-1) and best_key = ref (-1, -1) in
@@ -131,16 +139,17 @@ let rec complement f =
     match f.cubes with
     | [] -> assert false (* handled above *)
     | [ c ] ->
-      let cubes =
-        Array.to_list c
-        |> List.mapi (fun v l ->
-               match l with
-               | Cube.Both -> None
-               | Cube.One -> Some (Cube.set_var (Cube.universe f.nvars) v Cube.Zero)
-               | Cube.Zero -> Some (Cube.set_var (Cube.universe f.nvars) v Cube.One))
-        |> List.filter_map Fun.id
-      in
-      { f with cubes }
+      let cubes = ref [] in
+      Cube.iteri
+        (fun v l ->
+          match l with
+          | Cube.Both -> ()
+          | Cube.One ->
+            cubes := Cube.set_var (Cube.universe f.nvars) v Cube.Zero :: !cubes
+          | Cube.Zero ->
+            cubes := Cube.set_var (Cube.universe f.nvars) v Cube.One :: !cubes)
+        c;
+      { f with cubes = List.rev !cubes }
     | _ :: _ :: _ ->
       let v = binate_select f in
       assert (v >= 0);
@@ -181,8 +190,8 @@ let minterms f =
 let rename f nvars' map =
   let rename_cube c =
     let out = Cube.universe nvars' in
-    Array.iteri
-      (fun v l -> if l <> Cube.Both then out.(map.(v)) <- l)
+    Cube.iteri
+      (fun v l -> if l <> Cube.Both then Cube.set out map.(v) l)
       c;
     out
   in

@@ -1,128 +1,226 @@
+(* Bit-packed cubes: 2 bits per literal, 31 literals per word.
+
+   Field encoding (espresso positional notation):
+     Zero -> 01   (only the 0 value of the variable is allowed)
+     One  -> 10   (only the 1 value)
+     Both -> 11   (variable absent from the product)
+   00 never appears in a well-formed cube; it marks an empty intersection.
+
+   Invariants:
+   - [w] has [(n + 30) / 31] words;
+   - fields beyond position [n] in the last word are kept at 11, so every
+     word-parallel operation (AND, OR, subset tests) treats the tail as
+     "absent" without masking. *)
+
 type lit = Zero | One | Both
 
-type t = lit array
+type t = { n : int; w : int array }
 
-let universe n = Array.make n Both
+let vars_per_word = 31
+
+(* 01 repeated in every field: bits 0, 2, 4, ... 60. *)
+let mask01 = 0x1555_5555_5555_5555
+
+(* 11 in every field = the 62 low bits = max_int on 64-bit OCaml. *)
+let all_both = (mask01 lsl 1) lor mask01
+
+let nwords n = (n + vars_per_word - 1) / vars_per_word
+
+let code_of_lit = function Zero -> 1 | One -> 2 | Both -> 3
+
+let lit_of_code = function 1 -> Zero | 2 -> One | _ -> Both
+
+let universe n = { n; w = Array.make (nwords n) all_both }
+
+let nvars c = c.n
+
+let get c v =
+  lit_of_code ((c.w.(v / vars_per_word) lsr (2 * (v mod vars_per_word))) land 3)
+
+let set c v l =
+  let i = v / vars_per_word and s = 2 * (v mod vars_per_word) in
+  c.w.(i) <- c.w.(i) land lnot (3 lsl s) lor (code_of_lit l lsl s)
+
+let copy c = { c with w = Array.copy c.w }
+
+let of_lits lits =
+  let c = universe (Array.length lits) in
+  Array.iteri (fun v l -> if l <> Both then set c v l) lits;
+  c
+
+let to_lits c = Array.init c.n (get c)
+
+let iteri f c =
+  for v = 0 to c.n - 1 do
+    f v (get c v)
+  done
 
 let of_string s =
-  let lit_of_char = function
-    | '0' -> Zero
-    | '1' -> One
-    | '-' -> Both
-    | c -> invalid_arg (Printf.sprintf "Cube.of_string: bad character %c" c)
-  in
-  Array.init (String.length s) (fun i -> lit_of_char s.[i])
+  let c = universe (String.length s) in
+  String.iteri
+    (fun v ch ->
+      match ch with
+      | '0' -> set c v Zero
+      | '1' -> set c v One
+      | '-' -> ()
+      | _ -> invalid_arg (Printf.sprintf "Cube.of_string: bad character %c" ch))
+    s;
+  c
 
 let to_string c =
-  let char_of_lit = function Zero -> '0' | One -> '1' | Both -> '-' in
-  String.init (Array.length c) (fun i -> char_of_lit c.(i))
+  String.init c.n (fun v ->
+      match get c v with Zero -> '0' | One -> '1' | Both -> '-')
 
 let minterm n point =
   assert (Array.length point = n);
-  Array.init n (fun i -> if point.(i) then One else Zero)
+  let c = universe n in
+  for v = 0 to n - 1 do
+    set c v (if point.(v) then One else Zero)
+  done;
+  c
 
-let nvars = Array.length
+let popcount x =
+  let x = x - ((x lsr 1) land 0x5555_5555_5555_5555) in
+  let x = (x land 0x3333_3333_3333_3333) + ((x lsr 2) land 0x3333_3333_3333_3333) in
+  let x = (x + (x lsr 4)) land 0x0F0F_0F0F_0F0F_0F0F in
+  (x * 0x0101_0101_0101_0101) lsr 56
+
+(* Index of the lowest set bit; [x] must be non-zero. *)
+let ntz x = popcount (x land (-x) - 1)
 
 let lit_count c =
-  Array.fold_left (fun acc l -> if l = Both then acc else acc + 1) 0 c
+  (* Fields holding 11 (Both) across all words, including the constant-11
+     tail, leave exactly the bound literals. *)
+  let both = ref 0 in
+  for i = 0 to Array.length c.w - 1 do
+    let x = c.w.(i) in
+    both := !both + popcount (x land (x lsr 1) land mask01)
+  done;
+  Array.length c.w * vars_per_word - !both
 
-let is_minterm c = lit_count c = nvars c
+let is_minterm c = lit_count c = c.n
 
-let equal (a : t) (b : t) = a = b
+let equal a b =
+  a.n = b.n
+  &&
+  let rec loop i = i < 0 || (a.w.(i) = b.w.(i) && loop (i - 1)) in
+  loop (Array.length a.w - 1)
 
-let compare (a : t) (b : t) = Stdlib.compare a b
+(* Same order as the legacy element-wise [Stdlib.compare] on lit arrays:
+   lexicographic by variable with Zero < One < Both (the field codes 1 < 2 < 3
+   preserve that rank). *)
+let compare a b =
+  if a.n <> b.n then Stdlib.compare a.n b.n
+  else begin
+    let words = Array.length a.w in
+    let rec loop i =
+      if i >= words then 0
+      else if a.w.(i) = b.w.(i) then loop (i + 1)
+      else begin
+        let s = ntz (a.w.(i) lxor b.w.(i)) land lnot 1 in
+        Stdlib.compare ((a.w.(i) lsr s) land 3) ((b.w.(i) lsr s) land 3)
+      end
+    in
+    loop 0
+  end
 
 let contains a b =
-  let n = Array.length a in
+  a.n = b.n
+  &&
+  (* [a] contains [b] iff every allowed value of [b] is allowed by [a]. *)
+  let rec loop i = i < 0 || (b.w.(i) land lnot a.w.(i) = 0 && loop (i - 1)) in
+  loop (Array.length a.w - 1)
+
+let intersects a b =
   let rec loop i =
-    if i >= n then true
-    else
-      match a.(i), b.(i) with
-      | Both, _ -> loop (i + 1)
-      | One, One | Zero, Zero -> loop (i + 1)
-      | One, (Zero | Both) | Zero, (One | Both) -> false
+    i < 0
+    ||
+    let x = a.w.(i) land b.w.(i) in
+    (x lor (x lsr 1)) land mask01 = mask01 && loop (i - 1)
   in
-  Array.length b = n && loop 0
+  loop (Array.length a.w - 1)
 
 let intersect a b =
-  let n = Array.length a in
-  let out = Array.make n Both in
-  let rec loop i =
-    if i >= n then Some out
-    else
-      match a.(i), b.(i) with
-      | Zero, One | One, Zero -> None
-      | Both, l | l, Both -> out.(i) <- l; loop (i + 1)
-      | One, One -> out.(i) <- One; loop (i + 1)
-      | Zero, Zero -> out.(i) <- Zero; loop (i + 1)
-  in
-  loop 0
+  if intersects a b then
+    Some { n = a.n; w = Array.init (Array.length a.w) (fun i -> a.w.(i) land b.w.(i)) }
+  else None
 
 let distance a b =
   let d = ref 0 in
-  for i = 0 to Array.length a - 1 do
-    match a.(i), b.(i) with
-    | Zero, One | One, Zero -> incr d
-    | Zero, (Zero | Both) | One, (One | Both) | Both, (Zero | One | Both) -> ()
+  for i = 0 to Array.length a.w - 1 do
+    let x = a.w.(i) land b.w.(i) in
+    d := !d + popcount (lnot (x lor (x lsr 1)) land mask01)
   done;
   !d
 
 let consensus a b =
   if distance a b <> 1 then None
   else begin
-    let n = Array.length a in
-    let out = Array.make n Both in
-    for i = 0 to n - 1 do
-      match a.(i), b.(i) with
-      | Zero, One | One, Zero -> out.(i) <- Both
-      | Both, l | l, Both -> out.(i) <- l
-      | One, One -> out.(i) <- One
-      | Zero, Zero -> out.(i) <- Zero
-    done;
+    let out =
+      { n = a.n;
+        w = Array.init (Array.length a.w) (fun i -> a.w.(i) land b.w.(i)) }
+    in
+    (* raise the single conflicting variable *)
+    let rec fix i =
+      let x = out.w.(i) in
+      let empty = lnot (x lor (x lsr 1)) land mask01 in
+      if empty = 0 then fix (i + 1)
+      else out.w.(i) <- x lor (empty lor (empty lsl 1))
+    in
+    fix 0;
     Some out
   end
 
 let supercube a b =
-  Array.init (Array.length a) (fun i ->
-      match a.(i), b.(i) with
-      | One, One -> One
-      | Zero, Zero -> Zero
-      | One, (Zero | Both) | Zero, (One | Both) | Both, (Zero | One | Both) ->
-        Both)
+  { n = a.n; w = Array.init (Array.length a.w) (fun i -> a.w.(i) lor b.w.(i)) }
 
 let cofactor c v value =
   assert (value <> Both);
-  match c.(v), value with
-  | Both, _ -> Some (Array.copy c)
-  | One, One | Zero, Zero ->
-    let out = Array.copy c in
-    out.(v) <- Both;
+  let i = v / vars_per_word and s = 2 * (v mod vars_per_word) in
+  if (c.w.(i) lsr s) land code_of_lit value = 0 then None
+  else begin
+    let out = copy c in
+    set out v Both;
     Some out
-  | One, Zero | Zero, One -> None
-  | (Zero | One), Both -> assert false
+  end
+
+(* Cofactor of [c] against a whole cube: [None] when disjoint, otherwise [c]
+   with every variable bound by [d] raised.  One OR per word. *)
+let cube_cofactor c d =
+  if not (intersects c d) then None
+  else
+    Some
+      { n = c.n;
+        w =
+          Array.init (Array.length c.w) (fun i ->
+              let bound = lnot (d.w.(i) land (d.w.(i) lsr 1)) land mask01 in
+              c.w.(i) lor (bound lor (bound lsl 1))) }
 
 let eval c point =
-  let n = Array.length c in
-  let rec loop i =
-    if i >= n then true
-    else
-      match c.(i) with
-      | Both -> loop (i + 1)
-      | One -> point.(i) && loop (i + 1)
-      | Zero -> (not point.(i)) && loop (i + 1)
+  let rec loop v =
+    v >= c.n
+    ||
+    let f = (c.w.(v / vars_per_word) lsr (2 * (v mod vars_per_word))) land 3 in
+    (f = 3 || (f = 2) = point.(v)) && loop (v + 1)
   in
   loop 0
 
 let raise_var c v =
-  let out = Array.copy c in
-  out.(v) <- Both;
+  let out = copy c in
+  set out v Both;
   out
 
 let set_var c v l =
-  let out = Array.copy c in
-  out.(v) <- l;
+  let out = copy c in
+  set out v l;
   out
 
-let depends_on c v = c.(v) <> Both
+let depends_on c v =
+  (c.w.(v / vars_per_word) lsr (2 * (v mod vars_per_word))) land 3 <> 3
+
+(* OR-fold of the words: wordwise subset implies signature subset, so
+   [contains a b] requires [signature b land lnot (signature a) = 0] — a
+   one-word prefilter for cover containment sweeps. *)
+let signature c = Array.fold_left ( lor ) 0 c.w
 
 let pp fmt c = Format.pp_print_string fmt (to_string c)

@@ -52,13 +52,12 @@ and pp_atom fmt e =
 let divide_by_cube f c =
   let quotient = ref [] and remainder = ref [] in
   let strip cube =
-    (* The cube is divisible by [c] iff it carries every literal of [c]. *)
-    if Array.for_all2 (fun lc lf -> lc = Cube.Both || lc = lf) c cube then begin
-      (* cube contains every literal of c: remove them *)
-      let out = Array.copy cube in
-      Array.iteri (fun v l -> if l <> Cube.Both then out.(v) <- Cube.Both) c;
-      quotient := out :: !quotient
-    end
+    (* The cube is divisible by [c] iff it carries every literal of [c];
+       removing them is exactly the cube cofactor against [c]. *)
+    if Cube.contains c cube then
+      match Cube.cube_cofactor cube c with
+      | Some out -> quotient := out :: !quotient
+      | None -> assert false (* containment implies intersection *)
     else remainder := cube :: !remainder
   in
   List.iter strip f.Cover.cubes;
@@ -105,12 +104,7 @@ let common_cube f =
   match f.Cover.cubes with
   | [] -> None
   | first :: rest ->
-    let acc = Array.copy first in
-    List.iter
-      (fun c ->
-        Array.iteri (fun v l -> if l <> c.(v) then acc.(v) <- Cube.Both) acc;
-        ignore c)
-      rest;
+    let acc = List.fold_left Cube.supercube first rest in
     if Cube.lit_count acc = 0 then None else Some acc
 
 let cube_free f = common_cube f = None && Cover.size f > 1
@@ -144,7 +138,7 @@ let kernels f =
           let lit_cube = Cube.set_var (Cube.universe n) v phase in
           let with_lit =
             List.filter
-              (fun c -> c.(v) = phase)
+              (fun c -> Cube.get c v = phase)
               g.Cover.cubes
           in
           if List.length with_lit >= 2 then begin
@@ -178,7 +172,7 @@ let kernels f =
 
 let cube_to_expr c =
   let lits = ref [] in
-  Array.iteri
+  Cube.iteri
     (fun v l ->
       match l with
       | Cube.One -> lits := Lit (v, true) :: !lits
@@ -207,7 +201,7 @@ let best_literal f =
     List.iter
       (fun phase ->
         let count =
-          List.length (List.filter (fun c -> c.(v) = phase) f.Cover.cubes)
+          List.length (List.filter (fun c -> Cube.get c v = phase) f.Cover.cubes)
         in
         if count > !best_count then begin
           best := Some (v, phase);

@@ -2,48 +2,56 @@ let cost f = (Cover.size f, Cover.lit_count f)
 
 (* A cube is feasible iff it does not intersect the OFF-set. *)
 let feasible ~(off : Cover.t) cube =
-  not (List.exists (fun c -> Cube.intersect c cube <> None) off.Cover.cubes)
+  not (List.exists (fun c -> Cube.intersects c cube) off.Cover.cubes)
 
 let expand_cube ~off cube =
   let n = Cube.nvars cube in
-  let current = ref (Array.copy cube) in
+  (* One scratch cube for the whole expansion: each probe raises a variable
+     in place and restores it when the raised cube hits the OFF-set. *)
+  let current = Cube.copy cube in
   (* Greedy: try variables in order of how constrained they are; a simple
      left-to-right pass repeated until fixpoint is adequate at our sizes. *)
   let changed = ref true in
   while !changed do
     changed := false;
     for v = 0 to n - 1 do
-      if Cube.depends_on !current v then begin
-        let candidate = Cube.raise_var !current v in
-        if feasible ~off candidate then begin
-          current := candidate;
-          changed := true
-        end
+      let saved = Cube.get current v in
+      if saved <> Cube.Both then begin
+        Cube.set current v Cube.Both;
+        if feasible ~off current then changed := true
+        else Cube.set current v saved
       end
     done
   done;
-  !current
+  current
 
 let expand ~off f =
   let cubes = List.map (expand_cube ~off) f.Cover.cubes in
   Cover.single_cube_containment { f with Cover.cubes }
 
+(* Both passes below repeatedly need "every cube but the current one, plus
+   the DC set" as a cover.  The cubes are already width-checked, so the
+   scratch cover is assembled by consing straight onto the DC list — no
+   [Cover.make] re-validation, one list spine per probe. *)
+let others_with ~dc kept rest =
+  { dc with Cover.cubes = List.rev_append kept (List.rev_append rest dc.Cover.cubes) }
+
 let irredundant ~dc f =
   let rec loop kept = function
     | [] -> List.rev kept
     | c :: rest ->
-      let others = Cover.make f.Cover.nvars (List.rev_append kept rest) in
-      if Cover.covers_cube (Cover.union others dc) c then loop kept rest
+      if Cover.covers_cube (others_with ~dc kept rest) c then loop kept rest
       else loop (c :: kept) rest
   in
   { f with Cover.cubes = loop [] f.Cover.cubes }
 
 let reduce ~dc f =
-  let reduce_cube others c =
+  let reduce_cube kept rest c =
     (* Essential part of [c]: minterms of [c] not covered by the rest of the
        cover nor the DC set.  Replace [c] by the supercube of that part. *)
-    let rest = Cover.union (Cover.make f.Cover.nvars others) dc in
-    let essential = Cover.sharp (Cover.make f.Cover.nvars [ c ]) rest in
+    let essential =
+      Cover.sharp { f with Cover.cubes = [ c ] } (others_with ~dc kept rest)
+    in
     match essential.Cover.cubes with
     | [] -> None (* fully redundant *)
     | first :: more -> Some (List.fold_left Cube.supercube first more)
@@ -51,7 +59,7 @@ let reduce ~dc f =
   let rec loop kept = function
     | [] -> List.rev kept
     | c :: rest ->
-      (match reduce_cube (List.rev_append kept rest) c with
+      (match reduce_cube kept rest c with
        | None -> loop kept rest
        | Some c' -> loop (c' :: kept) rest)
   in

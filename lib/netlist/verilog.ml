@@ -68,7 +68,7 @@ let to_string net =
       in
       let cube_expr cube =
         let lits = ref [] in
-        Array.iteri
+        Logic.Cube.iteri
           (fun v l ->
             match l with
             | Logic.Cube.One -> lits := literal fanins.(v) true :: !lits

@@ -91,13 +91,17 @@ let summary rows =
     (mean (ratios (fun s -> s.Core.Flow.clk)))
     (mean (ratios (fun s -> s.Core.Flow.area)))
 
-let run_suite ?(verify = true) ?resynth_options ?names () =
+(* [jobs] > 1 runs one worker domain per suite row (bounded by [jobs]); every
+   row builds its own network, timers and BDD managers from its entry's fixed
+   seed, so the rows are independent and the joined output is byte-identical
+   to a serial run. *)
+let run_suite ?(verify = true) ?resynth_options ?names ?(jobs = 1) () =
   let entries =
     match names with
     | None -> Circuits.Suite.entries
     | Some ns -> List.map Circuits.Suite.find ns
   in
-  List.map
+  Core.Parallel.map_list ~jobs
     (fun e ->
       let net = e.Circuits.Suite.build () in
       Core.Flow.run_all ~verify ?resynth_options ~name:e.Circuits.Suite.name

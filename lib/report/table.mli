@@ -14,5 +14,8 @@ val summary : Core.Flow.row list -> string
 
 val run_suite :
   ?verify:bool -> ?resynth_options:Core.Resynth.options ->
-  ?names:string list -> unit -> Core.Flow.row list
-(** Run the three flows over the benchmark suite (all entries by default). *)
+  ?names:string list -> ?jobs:int -> unit -> Core.Flow.row list
+(** Run the three flows over the benchmark suite (all entries by default).
+    [jobs] (default 1) bounds the number of worker domains; each row builds
+    its own network and BDD managers from a fixed per-entry seed, so the
+    result list is identical for every [jobs] value. *)

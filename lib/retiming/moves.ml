@@ -22,7 +22,7 @@ let init_of_tri = function
 let eval_inits cover inits =
   let eval_cube cube =
     let result = ref Sim.Simulate.T1 in
-    Array.iteri
+    Logic.Cube.iteri
       (fun v l ->
         match l, inits.(v) with
         | Logic.Cube.Both, _ -> ()

@@ -80,7 +80,7 @@ let node_cnf solver net ~leaf_var root_id =
               (fun cube ->
                 let cv = Sat_lite.new_var solver in
                 (* cv -> each literal *)
-                Array.iteri
+                Logic.Cube.iteri
                   (fun i l ->
                     let fv = fanin_vars.(i) in
                     match l with
@@ -91,18 +91,16 @@ let node_cnf solver net ~leaf_var root_id =
                     | Logic.Cube.Both -> ())
                   cube;
                 (* literals -> cv *)
-                let body =
-                  Array.to_list
-                    (Array.mapi
-                       (fun i l ->
-                         let fv = fanin_vars.(i) in
-                         match l with
-                         | Logic.Cube.One -> Some (-(fv + 1))
-                         | Logic.Cube.Zero -> Some (fv + 1)
-                         | Logic.Cube.Both -> None)
-                       cube)
-                  |> List.filter_map Fun.id
-                in
+                let body = ref [] in
+                Logic.Cube.iteri
+                  (fun i l ->
+                    let fv = fanin_vars.(i) in
+                    match l with
+                    | Logic.Cube.One -> body := -(fv + 1) :: !body
+                    | Logic.Cube.Zero -> body := fv + 1 :: !body
+                    | Logic.Cube.Both -> ())
+                  cube;
+                let body = List.rev !body in
                 Sat_lite.add_clause solver ((cv + 1) :: body);
                 cv)
               cover.Logic.Cover.cubes
@@ -218,7 +216,7 @@ let seq_equal_bdd ?(max_latches = 28) ?(delay = 0) a b =
           let cover = N.cover_of n in
           let cube_bdd cube =
             let acc = ref Bdd.btrue in
-            Array.iteri
+            Logic.Cube.iteri
               (fun i l ->
                 match l with
                 | Logic.Cube.One -> acc := Bdd.band man !acc fanins.(i)

@@ -83,7 +83,7 @@ let run net state vectors =
 let eval_cover3 cover point =
   let eval_cube cube =
     let result = ref T1 in
-    Array.iteri
+    Logic.Cube.iteri
       (fun v l ->
         match l, point.(v) with
         | Logic.Cube.Both, _ -> ()

@@ -11,7 +11,7 @@ let global_of_cover net n (cover : Logic.Cover.t) : global_divisor =
   List.map
     (fun cube ->
       let lits = ref [] in
-      Array.iteri
+      Logic.Cube.iteri
         (fun v l ->
           if l <> Logic.Cube.Both then lits := (n.N.fanins.(v), l) :: !lits)
         cube;
@@ -57,8 +57,8 @@ let localize net n (d : global_divisor) =
       (fun (fid, l) ->
         match Hashtbl.find_opt var_of fid with
         | Some v ->
-          if out.(v) = Logic.Cube.Both then out.(v) <- l
-          else if out.(v) <> l then ok := false
+          if Logic.Cube.get out v = Logic.Cube.Both then Logic.Cube.set out v l
+          else if Logic.Cube.get out v <> l then ok := false
         | None -> ok := false)
       c;
     if !ok then Some out else None
@@ -101,7 +101,7 @@ let candidates_of_node net n ~max_node_cubes =
       List.concat_map
         (fun cube ->
           let lits = ref [] in
-          Array.iteri
+          Logic.Cube.iteri
             (fun v l ->
               if l <> Logic.Cube.Both then lits := (n.N.fanins.(v), l) :: !lits)
             cube;
@@ -163,7 +163,9 @@ let extract_one net ~max_node_cubes =
         (List.map
            (fun c ->
              let out = Logic.Cube.universe nvars in
-             List.iter (fun (fid, l) -> out.(Hashtbl.find var_of fid) <- l) c;
+             List.iter
+               (fun (fid, l) -> Logic.Cube.set out (Hashtbl.find var_of fid) l)
+               c;
              out)
            d)
     in
@@ -186,8 +188,8 @@ let extract_one net ~max_node_cubes =
                let nvars' = old_arity + 1 in
                let widen cube extra =
                  let out = Logic.Cube.universe nvars' in
-                 Array.blit cube 0 out 0 old_arity;
-                 out.(old_arity) <- extra;
+                 Logic.Cube.iteri (fun v l -> Logic.Cube.set out v l) cube;
+                 Logic.Cube.set out old_arity extra;
                  out
                in
                let cubes =

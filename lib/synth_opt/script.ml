@@ -48,7 +48,7 @@ let collapse_into net ~producer ~consumer =
       match
         let base = Logic.Cube.universe nvars in
         let producer_lit = ref Logic.Cube.Both in
-        Array.iteri
+        Logic.Cube.iteri
           (fun i l ->
             if l <> Logic.Cube.Both then begin
               let fid = consumer.N.fanins.(i) in
@@ -58,8 +58,9 @@ let collapse_into net ~producer ~consumer =
               end
               else begin
                 let v = Hashtbl.find index_of fid in
-                if base.(v) = Logic.Cube.Both then base.(v) <- l
-                else if base.(v) <> l then raise Empty_cube
+                if Logic.Cube.get base v = Logic.Cube.Both then
+                  Logic.Cube.set base v l
+                else if Logic.Cube.get base v <> l then raise Empty_cube
               end
             end)
           cube;

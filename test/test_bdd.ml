@@ -7,7 +7,8 @@ let all_points n =
 let gen_cover n =
   QCheck.Gen.(
     list_size (int_range 0 6)
-      (array_repeat n (oneofl [ Logic.Cube.Zero; Logic.Cube.One; Logic.Cube.Both ]))
+      (array_repeat n (oneofl [ Logic.Cube.Zero; Logic.Cube.One; Logic.Cube.Both ])
+       >|= Logic.Cube.of_lits)
     >|= fun cubes -> Logic.Cover.make n cubes)
 
 let arb_cover n =

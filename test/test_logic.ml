@@ -8,7 +8,8 @@ let cover_t = Alcotest.testable Logic.Cover.pp Logic.Cover.equivalent
 
 let gen_cube n =
   QCheck.Gen.(
-    array_repeat n (oneofl [ Logic.Cube.Zero; Logic.Cube.One; Logic.Cube.Both ]))
+    array_repeat n (oneofl [ Logic.Cube.Zero; Logic.Cube.One; Logic.Cube.Both ])
+    >|= Logic.Cube.of_lits)
 
 let gen_cover n =
   QCheck.Gen.(

@@ -69,6 +69,38 @@ let test_run_suite_subset () =
   Alcotest.(check int) "one row" 1 (List.length rows);
   Alcotest.(check string) "named" "s27" (List.hd rows).Core.Flow.circuit
 
+(* The domain-parallel runner must be invisible in the output: the rendered
+   table and summary for any [jobs] value are byte-identical to a serial
+   run. *)
+let test_run_suite_jobs_deterministic () =
+  let names = [ "ex2"; "bbtas"; "s27"; "s208" ] in
+  let render jobs =
+    let rows = Report.Table.run_suite ~verify:false ~names ~jobs () in
+    Report.Table.render rows ^ Report.Table.summary rows
+  in
+  let serial = render 1 in
+  Alcotest.(check string) "jobs=4 matches serial" serial (render 4);
+  Alcotest.(check string) "jobs=2 matches serial" serial (render 2)
+
+let test_parallel_map () =
+  let items = Array.init 57 Fun.id in
+  let square x = x * x in
+  Alcotest.(check (array int))
+    "parallel map = serial map"
+    (Array.map square items)
+    (Core.Parallel.map ~jobs:4 square items);
+  (* deterministic failure: the lowest-indexed raiser wins *)
+  match
+    Core.Parallel.map ~jobs:4
+      (fun x -> if x >= 10 then failwith (string_of_int x) else x)
+      items
+  with
+  | _ -> Alcotest.fail "expected Worker_failure"
+  | exception Core.Parallel.Worker_failure (i, Failure msg) ->
+    Alcotest.(check int) "lowest failing index" 10 i;
+    Alcotest.(check string) "original exception" "10" msg
+  | exception e -> raise e
+
 let () =
   Alcotest.run "report"
     [ ( "table",
@@ -77,4 +109,7 @@ let () =
           Alcotest.test_case "footnotes" `Quick test_render_footnotes;
           Alcotest.test_case "summary counts" `Quick test_summary_counts;
           Alcotest.test_case "summary ratios" `Quick test_summary_ratios;
-          Alcotest.test_case "run subset" `Quick test_run_suite_subset ] ) ]
+          Alcotest.test_case "run subset" `Quick test_run_suite_subset;
+          Alcotest.test_case "jobs determinism" `Quick
+            test_run_suite_jobs_deterministic;
+          Alcotest.test_case "parallel map" `Quick test_parallel_map ] ) ]
