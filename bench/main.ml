@@ -443,6 +443,66 @@ let suite_bench ?(emit_json = true) ?(verify = true) ?names ?(jobs = 4) () =
   end;
   speedup
 
+(* --- 3f. Verifier overhead ----------------------------------------------------------- *)
+
+(* Cost of --verify-each: the same suite subset with the checker off and on.
+   Sequential-equivalence verification is disabled in both runs so the delta
+   isolates the verifier (static rules + journal audit at every pass
+   boundary). *)
+let verifier_bench ?(emit_json = true) ?names () =
+  section "Netlist verifier: --verify-each overhead (verify=false both runs)";
+  let names =
+    match names with
+    | Some ns -> ns
+    | None -> [ "s27"; "s208"; "s298"; "s344"; "s382"; "s400"; "s444"; "s526" ]
+  in
+  let run verify_each =
+    let t0 = Unix.gettimeofday () in
+    let rows =
+      Report.Table.run_suite ~verify:false ~verify_each ~names ()
+    in
+    (rows, Unix.gettimeofday () -. t0)
+  in
+  (* warm-up, then best-of-3 alternating runs: sub-second suite subsets are
+     dominated by allocator/GC noise otherwise *)
+  ignore (run false);
+  let best verify_each =
+    let results = List.init 3 (fun _ -> run verify_each) in
+    List.fold_left
+      (fun (rows, t) (rows', t') -> if t' < t then (rows', t') else (rows, t))
+      (List.hd results) (List.tl results)
+  in
+  let rows_off, off_s = best false in
+  let rows_on, on_s = best true in
+  if
+    not
+      (String.equal
+         (Report.Table.render rows_off)
+         (Report.Table.render rows_on))
+  then begin
+    Printf.eprintf
+      "verifier bench: --verify-each changed the flow results — checker is \
+       not observation-only\n";
+    exit 1
+  end;
+  let overhead = (on_s -. off_s) /. off_s *. 100.0 in
+  Printf.printf
+    "  %d rows: checker off %.2fs, on %.2fs, overhead %+.1f%% (results \
+     byte-identical)\n"
+    (List.length names) off_s on_s overhead;
+  if emit_json then begin
+    let oc = open_out "BENCH_verify.json" in
+    Printf.fprintf oc
+      "{\n  \"benchmark\": \"--verify-each overhead on Table I subset\",\n\
+      \  \"rows\": %d,\n  \"verify\": false,\n\
+      \  \"checker_off_s\": %.2f,\n  \"checker_on_s\": %.2f,\n\
+      \  \"overhead_pct\": %.1f,\n  \"byte_identical\": true\n}\n"
+      (List.length names) off_s on_s overhead;
+    close_out oc;
+    Printf.printf "  -> BENCH_verify.json\n"
+  end;
+  overhead
+
 (* --- 4. Bechamel kernels ------------------------------------------------------------ *)
 
 let bechamel_kernels () =
@@ -569,6 +629,7 @@ let () =
   let sta_only = List.mem "--sta" args in
   let logic_only = List.mem "--logic" args in
   let suite_only = List.mem "--suite" args in
+  let verifier_only = List.mem "--verifier" args in
   let quick = List.mem "--quick" args in
   (* value of a "--flag v" pair, if present *)
   let arg_value flag =
@@ -594,12 +655,14 @@ let () =
      else if sta_only then " (sta)"
      else if logic_only then " (logic)"
      else if suite_only then " (suite)"
+     else if verifier_only then " (verifier)"
      else "");
   if sta_only then
     ignore (sta_bench ~circuits:[ "s641"; "s1196"; "s1238"; "s5378" ] ())
   else if logic_only then ignore (logic_bench ~quick ())
   else if suite_only then
     ignore (suite_bench ~verify:(not quick) ?names ~jobs ())
+  else if verifier_only then ignore (verifier_bench ?names ())
   else if smoke then begin
     (* CI-sized pass: the Section III example end to end plus the STA
        comparison on a small circuit; no JSON, no Bechamel quotas *)
@@ -616,6 +679,7 @@ let () =
     ignore (sta_bench ~circuits:[ "s641"; "s1196"; "s1238"; "s5378" ] ());
     ignore (logic_bench ());
     ignore (suite_bench ~jobs ());
+    ignore (verifier_bench ());
     bechamel_kernels ();
     Printf.printf "\ndone.\n"
   end

@@ -1,16 +1,20 @@
 (* Standalone Table I regeneration (also part of bench/main.exe).
 
-   Usage: table1 [--jobs N] [--names a,b,c] [--no-verify]
+   Usage: table1 [--jobs N] [--names a,b,c] [--no-verify] [--verify-each]
 
-   --jobs N    run N suite rows in parallel domains (default 1; 0 = one per
-               recommended core).  Output is byte-identical for every N.
-   --names     comma-separated subset of suite circuits
-   --no-verify skip the sequential-equivalence check on each flow result *)
+   --jobs N      run N suite rows in parallel domains (default 1; 0 = one per
+                 recommended core).  Output is byte-identical for every N.
+   --names       comma-separated subset of suite circuits
+   --no-verify   skip the sequential-equivalence check on each flow result
+   --verify-each run the netlist verifier (structural rules + journal audit)
+                 after every named pass of every flow; the first diagnostic
+                 aborts the run naming the circuit and the pass *)
 
 let () =
   let jobs = ref 1 in
   let names = ref None in
   let verify = ref true in
+  let verify_each = ref false in
   let rec parse = function
     | [] -> ()
     | "--jobs" :: n :: rest ->
@@ -26,10 +30,14 @@ let () =
     | "--no-verify" :: rest ->
       verify := false;
       parse rest
+    | "--verify-each" :: rest ->
+      verify_each := true;
+      parse rest
     | arg :: _ ->
       Printf.eprintf
         "table1: unknown argument %s\n\
-         usage: table1 [--jobs N] [--names a,b,c] [--no-verify]\n"
+         usage: table1 [--jobs N] [--names a,b,c] [--no-verify] \
+         [--verify-each]\n"
         arg;
       exit 2
   in
@@ -37,11 +45,18 @@ let () =
   let jobs = if !jobs = 0 then Core.Parallel.default_jobs () else !jobs in
   let t0 = Unix.gettimeofday () in
   let rows =
-    Report.Table.run_suite ~verify:!verify ?names:!names ~jobs ()
+    try
+      Report.Table.run_suite ~verify:!verify ~verify_each:!verify_each
+        ?names:!names ~jobs ()
+    with Verify.Verification_failed msg ->
+      prerr_endline ("table1: " ^ msg);
+      exit 1
   in
   print_string (Report.Table.render rows);
   print_newline ();
   print_string (Report.Table.summary rows);
+  if !verify_each then
+    print_string "verify-each: all pass boundaries clean\n";
   Printf.printf "regenerated in %.1fs (%d jobs)\n"
     (Unix.gettimeofday () -. t0)
     jobs

@@ -31,29 +31,43 @@ let measure ?timer net ~lib =
 let script_delay_flow net ~lib = Synth_opt.Script.script_delay net ~lib
 
 (* Baseline B: min-delay retiming, then external don't-cares from implicit
-   state enumeration, per-node simplification, and a min-delay remap. *)
-let retiming_flow ?current_period net ~lib =
+   state enumeration, per-node simplification, and a min-delay remap.
+
+   [ins] instruments every named pass boundary: in-place rewrites run under
+   the journal audit, net-producing passes get a static-rule checkpoint.
+   The default instrument is free of cost. *)
+let retiming_flow ?current_period ?(ins = Verify.no_instrument) net ~lib =
   let model = Sta.mapped_delay ~default:1.0 () in
   match Retiming.Minperiod.retime_min_period ?current_period net ~model with
   | Error failure -> Error (Retiming.Minperiod.failure_message failure)
   | Ok (retimed, _) ->
-    ignore (Dontcare.Reach.simplify_with_unreachable retimed);
-    ignore (Synth_opt.Script.simplify_nodes retimed);
-    N.sweep retimed;
+    ins.Verify.checkpoint "retiming/min-period" [] retimed;
+    ins.Verify.audited "retiming/unreachable-simplify" [] retimed (fun () ->
+        ignore (Dontcare.Reach.simplify_with_unreachable retimed));
+    ins.Verify.audited "retiming/simplify-nodes" [] retimed (fun () ->
+        ignore (Synth_opt.Script.simplify_nodes retimed));
+    ins.Verify.audited "retiming/sweep" [] retimed (fun () -> N.sweep retimed);
     let remapped =
       Techmap.Mapper.map retimed ~lib ~objective:Techmap.Mapper.Min_delay
     in
+    ins.Verify.checkpoint "retiming/remap" [] remapped;
     Ok remapped
 
-let resynthesis_flow ?(options = Resynth.default_options) net =
-  let outcome = Resynth.resynthesize ~options net in
+let resynthesis_flow ?(options = Resynth.default_options)
+    ?(ins = Verify.no_instrument) net =
+  let outcome = Resynth.resynthesize ~options ~ins net in
   if outcome.Resynth.applied then Ok (outcome.Resynth.network, outcome)
   else Error outcome.Resynth.note
 
-let run_all ?(verify = true) ?(lib = Techmap.Genlib.mcnc_lite)
+let run_all ?(verify = true) ?(verify_each = false)
+    ?(lib = Techmap.Genlib.mcnc_lite)
     ?(resynth_options = Resynth.default_options) ~name net =
+  let ins =
+    if verify_each then Verify.instrument ~label:name else Verify.no_instrument
+  in
   let mapped = script_delay_flow net ~lib in
   N.set_name_of_model mapped name;
+  ins.Verify.checkpoint "script.delay" [] mapped;
   (* one timer per network: the base measurement and the retiming flow's
      candidate filtering share this handle's analysis of [mapped] *)
   let timer = Sta.Incremental.create mapped (Sta.mapped_delay ~default:1.0 ()) in
@@ -65,14 +79,14 @@ let run_all ?(verify = true) ?(lib = Techmap.Genlib.mcnc_lite)
       with Failure _ -> Sim.Equiv.seq_equal_random ~seed:7 mapped result
   in
   let retimed =
-    match retiming_flow ~current_period:base.clk mapped ~lib with
+    match retiming_flow ~current_period:base.clk ~ins mapped ~lib with
     | Ok net' ->
       { stats = Some (measure net' ~lib); note = ""; verified = check net' }
     | Error msg -> { stats = None; note = msg; verified = true }
   in
   let resynth_outcome = ref None in
   let resynthesized =
-    match resynthesis_flow ~options:resynth_options mapped with
+    match resynthesis_flow ~options:resynth_options ~ins mapped with
     | Ok (net', outcome) ->
       resynth_outcome := Some outcome;
       { stats = Some (measure net' ~lib); note = ""; verified = check net' }

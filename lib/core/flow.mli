@@ -40,18 +40,24 @@ val script_delay_flow :
   Netlist.Network.t -> lib:Techmap.Genlib.t -> Netlist.Network.t
 
 val retiming_flow :
-  ?current_period:float -> Netlist.Network.t -> lib:Techmap.Genlib.t ->
-  (Netlist.Network.t, string) result
+  ?current_period:float -> ?ins:Verify.instrument -> Netlist.Network.t ->
+  lib:Techmap.Genlib.t -> (Netlist.Network.t, string) result
 (** Input must already be mapped (the output of {!script_delay_flow}).
     [current_period], when known (e.g. from {!measure} with a timer), skips
-    the full analysis inside the retiming candidate filter. *)
+    the full analysis inside the retiming candidate filter.  [ins] runs the
+    netlist verifier at every pass boundary (default: no checking). *)
 
 val resynthesis_flow :
-  ?options:Resynth.options -> Netlist.Network.t ->
+  ?options:Resynth.options -> ?ins:Verify.instrument -> Netlist.Network.t ->
   (Netlist.Network.t * Resynth.outcome, string) result
 (** Input must already be mapped. *)
 
 val run_all :
-  ?verify:bool -> ?lib:Techmap.Genlib.t -> ?resynth_options:Resynth.options ->
+  ?verify:bool -> ?verify_each:bool -> ?lib:Techmap.Genlib.t ->
+  ?resynth_options:Resynth.options ->
   name:string -> Netlist.Network.t -> row
-(** Run the three flows on one circuit and collect a Table I row. *)
+(** Run the three flows on one circuit and collect a Table I row.
+    [verify_each] (default false) runs the netlist verifier — static rules
+    plus the journal audit — after every named pass of every flow, failing
+    fast with {!Verify.Verification_failed} naming the circuit, the pass and
+    the diagnostics. *)

@@ -258,7 +258,8 @@ let stats_zero net note applied =
     forward_moves = 0;
     simplified_cones = 0 }
 
-let resynthesize ?(options = default_options) original =
+let resynthesize ?(options = default_options) ?(ins = Verify.no_instrument)
+    original =
   let model = options.model in
   let original_period = Sta.clock_period original model in
   let net = N.copy original in
@@ -270,7 +271,10 @@ let resynthesize ?(options = default_options) original =
   match path with
   | [] -> stats_zero (N.copy original) "no combinational logic" false
   | _ :: _ ->
-    let _, clones = make_path_fanout_free_clones net path in
+    let _, clones =
+      ins.Verify.audited "resynth/fanout-free" [] net (fun () ->
+          make_path_fanout_free_clones net path)
+    in
     let path_ids =
       List.map (fun n -> n.N.id) path @ List.map (fun n -> n.N.id) clones
     in
@@ -282,23 +286,27 @@ let resynthesize ?(options = default_options) original =
         (N.latches net)
     in
     let classes = Dontcare.Classes.create () in
+    let class_ids () = Dontcare.Classes.classes classes in
     let stem_splits = ref 0 in
-    List.iter
-      (fun l ->
-        let copies = Retiming.Moves.split_stem net l in
-        match copies with
-        | [] | [ _ ] -> ()
-        | _ :: _ :: _ ->
-          incr stem_splits;
-          Dontcare.Classes.declare_class classes copies)
-      critical_fanout_registers;
+    ins.Verify.audited "resynth/stem-split" [] net (fun () ->
+        List.iter
+          (fun l ->
+            let copies = Retiming.Moves.split_stem net l in
+            match copies with
+            | [] | [ _ ] -> ()
+            | _ :: _ :: _ ->
+              incr stem_splits;
+              Dontcare.Classes.declare_class classes copies)
+          critical_fanout_registers);
+    ins.Verify.checkpoint "resynth/stem-split" (class_ids ()) net;
     if !stem_splits = 0 then
       stats_zero (N.copy original)
         "no multiple-fanout registers feed the critical path" false
     else begin
       (* retiming engine: forward retiming across path nodes to a fixpoint *)
       let forward_moves, new_latches =
-        Retiming.Moves.forward_fixpoint net path_ids
+        ins.Verify.audited "resynth/forward-fixpoint" (class_ids ()) net
+          (fun () -> Retiming.Moves.forward_fixpoint net path_ids)
       in
       if forward_moves = 0 then
         stats_zero (N.copy original)
@@ -323,28 +331,38 @@ let resynthesize ?(options = default_options) original =
           | Some _ | None -> ()
         in
         (* newest latches first, as the engine loop historically recorded *)
-        List.iter simplify_data_of_latch (List.rev new_latches);
-        List.iter simplify_data_of_latch (N.latches net);
-        List.iter
-          (fun (_, driver) ->
-            match N.node_opt net driver.N.id with
-            | Some d when N.is_logic d ->
-              let rebuilt, useful =
-                simplify_cone net classes ~dc_mode:options.dc_mode
-                  ~max_cone_leaves:options.max_cone_leaves d
-              in
-              if rebuilt && useful then incr simplified
-            | Some _ | None -> ())
-          (N.outputs net);
-        N.sweep net;
+        ins.Verify.audited "resynth/dc-simplify" (class_ids ()) net (fun () ->
+            List.iter simplify_data_of_latch (List.rev new_latches);
+            List.iter simplify_data_of_latch (N.latches net);
+            List.iter
+              (fun (_, driver) ->
+                match N.node_opt net driver.N.id with
+                | Some d when N.is_logic d ->
+                  let rebuilt, useful =
+                    simplify_cone net classes ~dc_mode:options.dc_mode
+                      ~max_cone_leaves:options.max_cone_leaves d
+                  in
+                  if rebuilt && useful then incr simplified
+                | Some _ | None -> ())
+              (N.outputs net));
+        ins.Verify.audited "resynth/sweep" (class_ids ()) net (fun () ->
+            N.sweep net);
         (* duplicated gates frequently become identical again after the
            simplification; share them *)
-        ignore (Netlist.Strash.run net);
-        (* local re-mapping *)
+        ins.Verify.audited "resynth/strash" (class_ids ()) net (fun () ->
+            ignore (Netlist.Strash.run net));
+        (* local re-mapping.  The mapper builds a fresh network: the DC_ret
+           class ids refer to the old one, so the retiming-soundness rule is
+           dropped from here on. *)
         let net =
-          if options.remap then
-            Techmap.Mapper.map net ~lib:options.lib
-              ~objective:Techmap.Mapper.Min_delay
+          if options.remap then begin
+            let remapped =
+              Techmap.Mapper.map net ~lib:options.lib
+                ~objective:Techmap.Mapper.Min_delay
+            in
+            ins.Verify.checkpoint "resynth/remap" [] remapped;
+            remapped
+          end
           else net
         in
         (* redistribute the registers accumulated at the path's end: the
@@ -360,7 +378,9 @@ let resynthesize ?(options = default_options) original =
             match
               Retiming.Minperiod.retime_min_period ?current_period net ~model
             with
-            | Ok (better, _) -> better
+            | Ok (better, _) ->
+              ins.Verify.checkpoint "resynth/post-retime" [] better;
+              better
             | Error _ -> net
           end
           else net
@@ -372,10 +392,15 @@ let resynthesize ?(options = default_options) original =
           else Sta.Incremental.create net model
         in
         let period_now = Sta.Incremental.period timer in
-        if options.min_area_post then
+        if options.min_area_post then begin
+          (* the audit is vacuous here by design: rejected moves revert via
+             [N.restore], which invalidates journal cursors (observers then
+             resync from scratch); the static rules still run *)
           ignore
-            (Retiming.Minarea.minimize_registers ~timer net ~model
-               ~max_period:period_now);
+            (ins.Verify.audited "resynth/min-area" [] net (fun () ->
+                 Retiming.Minarea.minimize_registers ~timer net ~model
+                   ~max_period:period_now))
+        end;
         let final_period = Sta.Incremental.period timer in
         (* Accept only genuine gains: a faster clock, or the same clock with
            fewer registers.  This is the paper's open "how far should forward
@@ -386,6 +411,7 @@ let resynthesize ?(options = default_options) original =
           || (final_period > original_period -. 1e-9
               && N.num_latches net >= N.num_latches original)
         in
+        Verify.debug_check ~label:"Resynth.resynthesize" net;
         if options.guard_regression && regressed then
           { network = N.copy original;
             applied = false;

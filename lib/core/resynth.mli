@@ -49,8 +49,12 @@ type outcome = {
   simplified_cones : int;  (** cones rebuilt using DC_ret *)
 }
 
-val resynthesize : ?options:options -> Netlist.Network.t -> outcome
-(** The input network is never modified. *)
+val resynthesize :
+  ?options:options -> ?ins:Verify.instrument -> Netlist.Network.t -> outcome
+(** The input network is never modified.  [ins] runs the netlist verifier at
+    every pass boundary of Algorithm 1 — in-place rewrites under the journal
+    audit, with the current DC_ret equivalence classes handed to the
+    retiming-soundness rule (default: no checking). *)
 
 val make_path_fanout_free :
   Netlist.Network.t -> Netlist.Network.node list -> int

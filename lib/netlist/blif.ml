@@ -103,11 +103,23 @@ let parse_string text =
         (match !current with
          | None -> fail lineno "cover line outside .names"
          | Some p ->
+           let width = List.length p.input_names in
            (match rest with
             | [ out ] when String.length out = 1 ->
+              if String.length word <> width then
+                fail lineno
+                  (Printf.sprintf
+                     "cover line for %s has width %d, .names declares %d \
+                      input(s)"
+                     p.output_name (String.length word) width);
               p.lines <- (word, out.[0]) :: p.lines
-            | [] when List.length p.input_names = 0 ->
-              (* constant node: line is just the output value *)
+            | [] when width = 0 ->
+              if String.length word <> 1 then
+                fail lineno
+                  (Printf.sprintf
+                     "constant cover line for %s must be a single output \
+                      value"
+                     p.output_name);
               p.lines <- ("", word.[0]) :: p.lines
             | _ -> fail lineno "malformed cover line"))
       | directive :: _ -> fail lineno ("unsupported directive " ^ directive)

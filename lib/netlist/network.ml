@@ -211,6 +211,10 @@ let inputs net = List.rev_map (node net) net.input_ids
 let outputs net =
   List.rev_map (fun (name, id) -> (name, node net id)) net.output_list
 
+let input_ids net = List.rev net.input_ids
+
+let output_ids net = List.rev net.output_list
+
 let live_nodes net =
   let out = ref [] in
   for id = net.next_id - 1 downto 0 do
@@ -656,6 +660,37 @@ let area net ~latch_area ~default_gate_area =
          | None -> acc +. default_gate_area)
       | Input | Const _ -> acc)
     0.0 (live_nodes net)
+
+module Unsafe = struct
+  let drop_fanout net ~id ~consumer =
+    let n = node net id in
+    let rec remove_one acc = function
+      | [] -> List.rev acc
+      | x :: rest ->
+        if x = consumer then List.rev_append acc rest
+        else remove_one (x :: acc) rest
+    in
+    n.fanouts <- remove_one [] n.fanouts
+
+  let skew_cover net ~id =
+    let n = node net id in
+    match n.kind with
+    | Logic c ->
+      n.kind <- Logic { c with Logic.Cover.nvars = c.Logic.Cover.nvars + 1 }
+    | Input | Const _ | Latch _ ->
+      invalid_arg "Network.Unsafe.skew_cover: not a logic node"
+
+  let redirect_fanin net ~id ~slot ~target =
+    let n = node net id in
+    n.fanins.(slot) <- target
+
+  let set_latch_init_unjournaled net ~id init =
+    let n = node net id in
+    match n.kind with
+    | Latch _ -> n.kind <- Latch init
+    | Input | Const _ | Logic _ ->
+      invalid_arg "Network.Unsafe.set_latch_init_unjournaled: not a latch"
+end
 
 let stats_string net =
   Printf.sprintf "%s: pi=%d po=%d latches=%d logic=%d lits=%d"

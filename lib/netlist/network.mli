@@ -98,6 +98,16 @@ val fanin_nodes : t -> node -> node list
 val fanout_nodes : t -> node -> node list
 val inputs : t -> node list
 val outputs : t -> (string * node) list
+
+val input_ids : t -> int list
+(** Raw primary-input id list in creation order, without resolving the nodes;
+    unlike {!inputs} this never raises, so integrity checkers can inspect a
+    corrupted network. *)
+
+val output_ids : t -> (string * int) list
+(** Raw primary-output (name, driver id) pairs in creation order, without
+    resolving the nodes; never raises. *)
+
 val latches : t -> node list
 val logic_nodes : t -> node list
 val all_nodes : t -> node list
@@ -196,6 +206,27 @@ val sweep : t -> unit
 
 val lit_count : t -> int
 val area : t -> latch_area:float -> default_gate_area:float -> float
+
+(** {1 Unsafe test hooks}
+
+    Deliberate corruption of the representation, bypassing both the
+    structural invariants and the change journal.  Exists solely so that
+    verifier and journal-audit tests can seed defects a correct editing API
+    can never produce; never call these from product code. *)
+module Unsafe : sig
+  val drop_fanout : t -> id:int -> consumer:int -> unit
+  (** Remove one occurrence of [consumer] from node [id]'s fanout list
+      without touching the consumer's fanins or the journal. *)
+
+  val skew_cover : t -> id:int -> unit
+  (** Widen the logic node's cover by one variable without adding a fanin. *)
+
+  val redirect_fanin : t -> id:int -> slot:int -> target:int -> unit
+  (** Overwrite one fanin slot without updating any fanout list. *)
+
+  val set_latch_init_unjournaled : t -> id:int -> init -> unit
+  (** Change a latch's initial value without journaling the mutation. *)
+end
 
 val stats_string : t -> string
 

@@ -95,7 +95,8 @@ let summary rows =
    row builds its own network, timers and BDD managers from its entry's fixed
    seed, so the rows are independent and the joined output is byte-identical
    to a serial run. *)
-let run_suite ?(verify = true) ?resynth_options ?names ?(jobs = 1) () =
+let run_suite ?(verify = true) ?(verify_each = false) ?resynth_options ?names
+    ?(jobs = 1) () =
   let entries =
     match names with
     | None -> Circuits.Suite.entries
@@ -104,6 +105,6 @@ let run_suite ?(verify = true) ?resynth_options ?names ?(jobs = 1) () =
   Core.Parallel.map_list ~jobs
     (fun e ->
       let net = e.Circuits.Suite.build () in
-      Core.Flow.run_all ~verify ?resynth_options ~name:e.Circuits.Suite.name
-        net)
+      Core.Flow.run_all ~verify ~verify_each ?resynth_options
+        ~name:e.Circuits.Suite.name net)
     entries

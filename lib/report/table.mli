@@ -13,9 +13,12 @@ val summary : Core.Flow.row list -> string
     retiming flow (the paper's headline claim). *)
 
 val run_suite :
-  ?verify:bool -> ?resynth_options:Core.Resynth.options ->
+  ?verify:bool -> ?verify_each:bool ->
+  ?resynth_options:Core.Resynth.options ->
   ?names:string list -> ?jobs:int -> unit -> Core.Flow.row list
 (** Run the three flows over the benchmark suite (all entries by default).
     [jobs] (default 1) bounds the number of worker domains; each row builds
     its own network and BDD managers from a fixed per-entry seed, so the
-    result list is identical for every [jobs] value. *)
+    result list is identical for every [jobs] value.  [verify_each] runs the
+    netlist verifier after every named pass of every flow, failing fast with
+    [Verify.Verification_failed] (see {!Core.Flow.run_all}). *)

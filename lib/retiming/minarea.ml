@@ -105,4 +105,5 @@ let minimize_registers ?timer net ~model ~max_period =
     in
     List.iter try_move (N.logic_nodes net)
   done;
+  Verify.debug_check ~label:"Minarea.minimize_registers" net;
   !eliminated

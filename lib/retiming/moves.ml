@@ -112,6 +112,7 @@ let forward_across_node net v =
         | Some _ | None -> ())
       (List.sort_uniq compare
          (Array.to_list (Array.map (fun l -> l.N.id) fanin_latches)));
+    Verify.debug_check ~label:"Moves.forward_across_node" net;
     Ok new_latch
   end
 
@@ -196,6 +197,7 @@ let backward_across_node net v =
           N.delete net l)
         (List.sort_uniq compare (List.map (fun l -> l.N.id) out_latches)
          |> List.map (N.node net));
+      Verify.debug_check ~label:"Moves.backward_across_node" net;
       Ok (Hashtbl.fold (fun _ l acc -> l :: acc) new_latch_for [])
   end
 
@@ -220,6 +222,7 @@ let split_stem net latch =
           copy)
         rest
     in
+    Verify.debug_check ~label:"Moves.split_stem" net;
     latch :: copies
 
 let merge_siblings net latches =
@@ -242,6 +245,7 @@ let merge_siblings net latches =
           N.transfer_fanouts net ~from:l ~to_:keep;
           N.delete net l)
         others;
+      Verify.debug_check ~label:"Moves.merge_siblings" net;
       Ok keep
     end
 
@@ -276,4 +280,5 @@ let forward_fixpoint net ids =
         | Some _ | None -> ())
       ids
   done;
+  Verify.debug_check ~label:"Moves.forward_fixpoint" net;
   (!moves, List.rev !latches)

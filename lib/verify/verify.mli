@@ -1,0 +1,160 @@
+(** Rule-based static verifier for {!Netlist.Network.t}.
+
+    Every phase of the resynthesis pipeline is a destructive in-place rewrite
+    of the network; the end-to-end simulation diff in the Table I runner
+    reports {e that} a flow broke, never {e which pass} broke it or {e how}.
+    This module checks the network's structural and semantic invariants
+    between passes and reports located, structured diagnostics.
+
+    Rule groups (each independently toggleable through [?rules]):
+    - {!Graph} — fanin/fanout lists are exact multiset inverses, no edges to
+      deleted or out-of-range ids, [Cover.nvars] equals the fanin count
+      (and every cube matches it), latches have exactly one fanin, sources
+      have none, primary outputs and the input list reference live nodes,
+      output names are unique;
+    - {!Loop} — no combinational cycles: an SCC sweep over the latch-broken
+      logic graph (forbidden by the network contract but otherwise only
+      detected when {!Netlist.Network.topo_combinational} happens to run);
+    - {!Retiming} — caller-supplied register-equivalence classes (the
+      resynthesis engine's DC_ret bookkeeping) stay well-formed: live class
+      members are latches, share their initial value, and drive structurally
+      isomorphic input cones (compared by a memoized structural hash with
+      latch leaves canonicalized to class representatives);
+    - {!Binding} — technology bindings appear only on logic nodes (gates)
+      and latches (the mapper's register cell), never on inputs or
+      constants, and carry finite, non-negative area and delay.
+
+    A fifth check, the {!Audit} mode, is dynamic rather than rule-based: it
+    snapshots the network, replays a pass, and diffs
+    {!Netlist.Network.journal_since} against a from-scratch structural diff
+    to catch unjournaled mutations that would silently corrupt incremental
+    observers such as [Sta.Incremental] — the race-detector analog for the
+    timing engine.
+
+    The verifier never raises on malformed input; every entry point below
+    that does raise ({!expect_clean}, {!audited}, {!debug_check}) raises only
+    {!Verification_failed}, carrying the pass name and rendered diagnostics. *)
+
+type severity = Error | Warning
+
+type rule =
+  | Graph      (** structural graph integrity *)
+  | Loop       (** combinational-loop detection *)
+  | Retiming   (** register-equivalence class soundness *)
+  | Binding    (** technology-binding sanity *)
+
+val all_rules : rule list
+
+val rule_name : rule -> string
+(** ["graph"], ["loop"], ["retiming"], ["binding"] — the prefix of every
+    {!diagnostic.rule_id} the rule group emits. *)
+
+val rule_of_name : string -> rule option
+
+type diagnostic = {
+  rule_id : string;    (** e.g. ["graph/edge-asymmetric"] *)
+  severity : severity;
+  node_ids : int list; (** offending node ids, ascending *)
+  message : string;
+}
+
+val run :
+  ?rules:rule list ->
+  ?equiv_classes:int list list ->
+  Netlist.Network.t ->
+  diagnostic list
+(** Run the selected rule groups (default: {!all_rules}) and return every
+    diagnostic found, errors first.  [equiv_classes] supplies the
+    retiming-induced register-equivalence classes checked by {!Retiming}
+    (latch ids per class; dead ids are tolerated — merge-back legitimately
+    consumes class members).  Never raises, even on badly corrupted
+    networks. *)
+
+val errors : diagnostic list -> diagnostic list
+(** The [Error]-severity subset. *)
+
+val render : diagnostic list -> string
+(** One line per diagnostic: [severity[rule_id] nodes a,b: message]. *)
+
+val render_json : diagnostic list -> string
+(** The same list as a JSON array of objects. *)
+
+exception Verification_failed of string
+(** Raised by {!expect_clean}, {!audited} and {!debug_check}; the payload
+    names the circuit and pass and embeds {!render} output. *)
+
+val expect_clean :
+  ?rules:rule list ->
+  ?equiv_classes:int list list ->
+  label:string ->
+  pass:string ->
+  Netlist.Network.t ->
+  unit
+(** {!run}, then raise {!Verification_failed} if any [Error] diagnostic was
+    produced.  [label] names the circuit or flow, [pass] the pass just
+    executed. *)
+
+(** Journal-audit mode: catch mutations that bypass the change journal. *)
+module Audit : sig
+  type snapshot
+
+  val snapshot : Netlist.Network.t -> snapshot
+  (** Deep-copies the network and records a journal cursor. *)
+
+  val diff : snapshot -> Netlist.Network.t -> diagnostic list
+  (** Compare the network against the snapshot: every node whose kind,
+      fanins, fanout multiset or binding changed — and every creation or
+      deletion — must appear in [journal_since] the snapshot's cursor,
+      else a [journal/unjournaled] error is reported ([journal/outputs] for
+      an output-list change without an [outputs_revision] bump).  Name
+      changes are exempt: [set_name] is unjournaled by design (names carry
+      no timing or structural meaning).  When the journal no longer reaches
+      the cursor (compaction or {!Netlist.Network.restore}), the audit is
+      vacuous and returns [] — observers fall back to a full resync in that
+      case, so no corruption can hide there. *)
+end
+
+val audited :
+  ?rules:rule list ->
+  ?equiv_classes:int list list ->
+  label:string ->
+  pass:string ->
+  Netlist.Network.t ->
+  (unit -> 'a) ->
+  'a
+(** Run an in-place pass under the journal audit: snapshot, run the thunk,
+    then {!Audit.diff} plus the static rules; raises {!Verification_failed}
+    on any error.  Exceptions from the thunk propagate unaudited. *)
+
+(** {1 Pass instrumentation}
+
+    A record of checking callbacks threaded through the flow drivers
+    ([Core.Flow], [Core.Resynth]); {!no_instrument} is free of cost so the
+    default path stays unchanged.  [checkpoint pass classes net] runs the
+    static rules after a pass that produced a fresh network; [audited] wraps
+    an in-place pass under the journal audit.  Both receive the current
+    register-equivalence classes ([[]] when none apply). *)
+type instrument = {
+  checkpoint : string -> int list list -> Netlist.Network.t -> unit;
+  audited :
+    'a. string -> int list list -> Netlist.Network.t -> (unit -> 'a) -> 'a;
+}
+
+val no_instrument : instrument
+
+val instrument : label:string -> instrument
+
+(** {1 Debug assertions}
+
+    Structural checks at the exits of the retiming and resynthesis editing
+    kernels ([Moves], [Minarea], [Resynth]).  Off by default; enabled by
+    {!set_debug} or the [VERIFY_DEBUG] environment variable (any non-empty
+    value other than ["0"]).  When disabled, {!debug_check} is one load and
+    a branch. *)
+
+val set_debug : bool -> unit
+val debug_enabled : unit -> bool
+
+val debug_check : label:string -> Netlist.Network.t -> unit
+(** When debugging is enabled, {!expect_clean} with the static rules
+    ([pass] = ["debug-assert"]). *)

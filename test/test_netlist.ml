@@ -186,6 +186,30 @@ let test_blif_complemented_cover () =
   Alcotest.(check bool) "nand 11" false (eval true true);
   Alcotest.(check bool) "nand 10" true (eval true false)
 
+let test_blif_width_mismatch () =
+  (* cube width must match the .names fanin count, caught at parse time with
+     the offending line number in the diagnostic *)
+  let text = ".model m\n.inputs a b\n.outputs o\n.names a b o\n1-1 1\n.end\n" in
+  (match Netlist.Blif.parse_string text with
+   | _ -> Alcotest.fail "expected parse failure"
+   | exception Failure msg ->
+     Alcotest.(check bool) "names line number" true
+       (String.length msg >= 7 && String.sub msg 0 7 = "blif:5:");
+     Alcotest.(check bool) "names widths" true
+       (let has sub =
+          let n = String.length sub and m = String.length msg in
+          let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+          go 0
+        in
+        has "width 3" && has "declares 2"));
+  (* constant covers: the single line must be one output value *)
+  let const = ".model m\n.outputs o\n.names o\n11\n.end\n" in
+  match Netlist.Blif.parse_string const with
+  | _ -> Alcotest.fail "expected constant-cover failure"
+  | exception Failure msg ->
+    Alcotest.(check bool) "constant line number" true
+      (String.length msg >= 7 && String.sub msg 0 7 = "blif:4:")
+
 let test_copy_independent () =
   let net = toggle_circuit () in
   let dup = N.copy net in
@@ -394,7 +418,9 @@ let () =
         [ Alcotest.test_case "parse" `Quick test_blif_parse;
           Alcotest.test_case "roundtrip" `Quick test_blif_roundtrip;
           Alcotest.test_case "complemented cover" `Quick
-            test_blif_complemented_cover ] );
+            test_blif_complemented_cover;
+          Alcotest.test_case "width mismatch" `Quick
+            test_blif_width_mismatch ] );
       ( "props",
         List.map QCheck_alcotest.to_alcotest
           [ prop_generator_valid; prop_blif_roundtrip_behaviour ] ) ]

@@ -276,6 +276,31 @@ let test_incremental_latch_move () =
   Alcotest.(check bool) "agrees with full analysis" true
     (oracle_agrees net model timer)
 
+let test_incremental_restore () =
+  (* restore invalidates the journal cursor: the timer must fall back to a
+     full resync and still answer bit-exactly against Sta.analyze *)
+  let net = chain_circuit () in
+  let model = Sta.mapped_delay ~default:1.0 () in
+  let timer = Sta.Incremental.create net model in
+  Alcotest.(check (float 1e-9)) "initial period" 3.0
+    (Sta.Incremental.period timer);
+  let snap = N.copy net in
+  let g2 = match N.find_by_name net "g2" with Some n -> n | None -> assert false in
+  N.set_binding net g2
+    (Some { N.gate_name = "inv"; gate_area = 1.0; gate_delay = 5.0 });
+  Alcotest.(check (float 1e-9)) "period after edit" 7.0
+    (Sta.Incremental.period timer);
+  N.restore net snap;
+  (* edit again after the rollback, then query: the answer must be bit-exact
+     against a from-scratch analysis of the restored-and-edited network *)
+  let g1 = match N.find_by_name net "g1" with Some n -> n | None -> assert false in
+  N.set_binding net g1
+    (Some { N.gate_name = "and2"; gate_area = 3.0; gate_delay = 2.5 });
+  Alcotest.(check bool) "bit-exact after restore + edit" true
+    (oracle_agrees net model timer);
+  Alcotest.(check (float 1e-9)) "period after restore + edit" 4.5
+    (Sta.Incremental.period timer)
+
 let () =
   Alcotest.run "sta"
     [ ( "basic",
@@ -287,7 +312,9 @@ let () =
           Alcotest.test_case "no logic" `Quick test_no_logic ] );
       ( "incremental",
         [ Alcotest.test_case "basic" `Quick test_incremental_basic;
-          Alcotest.test_case "latch move" `Quick test_incremental_latch_move ] );
+          Alcotest.test_case "latch move" `Quick test_incremental_latch_move;
+          Alcotest.test_case "restore then edit" `Quick
+            test_incremental_restore ] );
       ( "props",
         List.map QCheck_alcotest.to_alcotest
           [ prop_critical_path_matches_period;
