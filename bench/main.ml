@@ -503,6 +503,72 @@ let verifier_bench ?(emit_json = true) ?names () =
   end;
   overhead
 
+(* Cost of --eqcheck-each: the same suite subset with the semantic
+   equivalence analyzer off and on (verify=false and verify_each=false in
+   both runs so the delta isolates eqcheck).  Also records the verdict
+   counts — the analyzer must report zero Refuted on real flows. *)
+let eqcheck_bench ?(emit_json = true) ?names () =
+  section
+    "Semantic equivalence analyzer: --eqcheck-each overhead (verify=false \
+     both runs)";
+  let names =
+    match names with
+    | Some ns -> ns
+    | None -> [ "s27"; "bbtas"; "ex2"; "s208"; "s298"; "s344" ]
+  in
+  let run eqcheck_each =
+    let t0 = Unix.gettimeofday () in
+    let rows = Report.Table.run_suite ~verify:false ~eqcheck_each ~names () in
+    (rows, Unix.gettimeofday () -. t0)
+  in
+  ignore (run false);
+  let best eqcheck_each =
+    let results = List.init 3 (fun _ -> run eqcheck_each) in
+    List.fold_left
+      (fun (rows, t) (rows', t') -> if t' < t then (rows', t') else (rows, t))
+      (List.hd results) (List.tl results)
+  in
+  let rows_off, off_s = best false in
+  let rows_on, on_s = best true in
+  if
+    not
+      (String.equal
+         (Report.Table.render rows_off)
+         (Report.Table.render rows_on))
+  then begin
+    Printf.eprintf
+      "eqcheck bench: --eqcheck-each changed the flow results — analyzer is \
+       not observation-only\n";
+    exit 1
+  end;
+  let proved, refuted, unknown =
+    Eqcheck.counts (Report.Table.eqcheck_records rows_on)
+  in
+  if refuted > 0 then begin
+    Printf.eprintf "eqcheck bench: %d Refuted pass verdicts on a real flow\n"
+      refuted;
+    exit 1
+  end;
+  let overhead = (on_s -. off_s) /. off_s *. 100.0 in
+  Printf.printf
+    "  %d rows: analyzer off %.2fs, on %.2fs, overhead %+.1f%% (results \
+     byte-identical)\n\
+    \  verdicts: %d proved, %d refuted, %d unknown\n"
+    (List.length names) off_s on_s overhead proved refuted unknown;
+  if emit_json then begin
+    let oc = open_out "BENCH_eqcheck.json" in
+    Printf.fprintf oc
+      "{\n  \"benchmark\": \"--eqcheck-each overhead on Table I subset\",\n\
+      \  \"rows\": %d,\n  \"verify\": false,\n\
+      \  \"analyzer_off_s\": %.2f,\n  \"analyzer_on_s\": %.2f,\n\
+      \  \"overhead_pct\": %.1f,\n  \"byte_identical\": true,\n\
+      \  \"proved\": %d,\n  \"refuted\": %d,\n  \"unknown\": %d\n}\n"
+      (List.length names) off_s on_s overhead proved refuted unknown;
+    close_out oc;
+    Printf.printf "  -> BENCH_eqcheck.json\n"
+  end;
+  overhead
+
 (* --- 4. Bechamel kernels ------------------------------------------------------------ *)
 
 let bechamel_kernels () =
@@ -630,6 +696,7 @@ let () =
   let logic_only = List.mem "--logic" args in
   let suite_only = List.mem "--suite" args in
   let verifier_only = List.mem "--verifier" args in
+  let eqcheck_only = List.mem "--eqcheck" args in
   let quick = List.mem "--quick" args in
   (* value of a "--flag v" pair, if present *)
   let arg_value flag =
@@ -656,6 +723,7 @@ let () =
      else if logic_only then " (logic)"
      else if suite_only then " (suite)"
      else if verifier_only then " (verifier)"
+     else if eqcheck_only then " (eqcheck)"
      else "");
   if sta_only then
     ignore (sta_bench ~circuits:[ "s641"; "s1196"; "s1238"; "s5378" ] ())
@@ -663,6 +731,7 @@ let () =
   else if suite_only then
     ignore (suite_bench ~verify:(not quick) ?names ~jobs ())
   else if verifier_only then ignore (verifier_bench ?names ())
+  else if eqcheck_only then ignore (eqcheck_bench ?names ())
   else if smoke then begin
     (* CI-sized pass: the Section III example end to end plus the STA
        comparison on a small circuit; no JSON, no Bechamel quotas *)
@@ -680,6 +749,7 @@ let () =
     ignore (logic_bench ());
     ignore (suite_bench ~jobs ());
     ignore (verifier_bench ());
+    ignore (eqcheck_bench ());
     bechamel_kernels ();
     Printf.printf "\ndone.\n"
   end

@@ -1,20 +1,31 @@
 (* Standalone Table I regeneration (also part of bench/main.exe).
 
    Usage: table1 [--jobs N] [--names a,b,c] [--no-verify] [--verify-each]
+                 [--verify-json FILE] [--eqcheck-each] [--eqcheck-json FILE]
 
-   --jobs N      run N suite rows in parallel domains (default 1; 0 = one per
-                 recommended core).  Output is byte-identical for every N.
-   --names       comma-separated subset of suite circuits
-   --no-verify   skip the sequential-equivalence check on each flow result
-   --verify-each run the netlist verifier (structural rules + journal audit)
-                 after every named pass of every flow; the first diagnostic
-                 aborts the run naming the circuit and the pass *)
+   --jobs N        run N suite rows in parallel domains (default 1; 0 = one
+                   per recommended core).  Output is byte-identical for every
+                   N.
+   --names         comma-separated subset of suite circuits
+   --no-verify     skip the sequential-equivalence check on each flow result
+   --verify-each   run the netlist verifier (structural rules + journal
+                   audit) after every named pass of every flow; the first
+                   diagnostic aborts the run naming the circuit and the pass
+   --verify-json   write the final-network static-rule diagnostics (JSON
+                   array; requires --verify-each) to FILE
+   --eqcheck-each  run the semantic equivalence analyzer at every pass
+                   boundary; per-pass Proved / Refuted / Unknown verdicts are
+                   reported, and any Refuted verdict exits non-zero
+   --eqcheck-json  write the eqcheck verdicts (JSON array) to FILE *)
 
 let () =
   let jobs = ref 1 in
   let names = ref None in
   let verify = ref true in
   let verify_each = ref false in
+  let eqcheck_each = ref false in
+  let eqcheck_json = ref None in
+  let verify_json = ref None in
   let rec parse = function
     | [] -> ()
     | "--jobs" :: n :: rest ->
@@ -33,11 +44,21 @@ let () =
     | "--verify-each" :: rest ->
       verify_each := true;
       parse rest
+    | "--verify-json" :: file :: rest ->
+      verify_json := Some file;
+      parse rest
+    | "--eqcheck-each" :: rest ->
+      eqcheck_each := true;
+      parse rest
+    | "--eqcheck-json" :: file :: rest ->
+      eqcheck_json := Some file;
+      parse rest
     | arg :: _ ->
       Printf.eprintf
         "table1: unknown argument %s\n\
          usage: table1 [--jobs N] [--names a,b,c] [--no-verify] \
-         [--verify-each]\n"
+         [--verify-each] [--verify-json FILE] [--eqcheck-each] \
+         [--eqcheck-json FILE]\n"
         arg;
       exit 2
   in
@@ -47,7 +68,7 @@ let () =
   let rows =
     try
       Report.Table.run_suite ~verify:!verify ~verify_each:!verify_each
-        ?names:!names ~jobs ()
+        ~eqcheck_each:!eqcheck_each ?names:!names ~jobs ()
     with Verify.Verification_failed msg ->
       prerr_endline ("table1: " ^ msg);
       exit 1
@@ -57,6 +78,39 @@ let () =
   print_string (Report.Table.summary rows);
   if !verify_each then
     print_string "verify-each: all pass boundaries clean\n";
+  let write_file file contents =
+    let oc = open_out file in
+    output_string oc contents;
+    output_char oc '\n';
+    close_out oc
+  in
+  (match !verify_json with
+   | Some file ->
+     let diags = List.concat_map (fun r -> r.Core.Flow.verify_diags) rows in
+     write_file file (Verify.render_json diags)
+   | None -> ());
+  let eq_refuted = ref 0 in
+  if !eqcheck_each then begin
+    let records = Report.Table.eqcheck_records rows in
+    print_string (Report.Table.eqcheck_summary rows);
+    let _, refuted, _ = Eqcheck.counts records in
+    eq_refuted := refuted;
+    if refuted > 0 then begin
+      print_string "eqcheck REFUTED passes:\n";
+      List.iter
+        (fun r ->
+          match r.Eqcheck.verdict with
+          | Eqcheck.Refuted _ ->
+            print_string (Eqcheck.render [ r ]);
+            print_newline ()
+          | Eqcheck.Proved | Eqcheck.Unknown _ -> ())
+        records
+    end;
+    match !eqcheck_json with
+    | Some file -> write_file file (Eqcheck.render_json records)
+    | None -> ()
+  end;
   Printf.printf "regenerated in %.1fs (%d jobs)\n"
     (Unix.gettimeofday () -. t0)
-    jobs
+    jobs;
+  if !eq_refuted > 0 then exit 1

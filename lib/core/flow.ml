@@ -18,6 +18,8 @@ type row = {
   retimed : attempt;
   resynthesized : attempt;
   resynth_outcome : Resynth.outcome option;
+  eqcheck : Eqcheck.record list;
+  verify_diags : Verify.diagnostic list;
 }
 
 let measure ?timer net ~lib =
@@ -59,12 +61,21 @@ let resynthesis_flow ?(options = Resynth.default_options)
   if outcome.Resynth.applied then Ok (outcome.Resynth.network, outcome)
   else Error outcome.Resynth.note
 
-let run_all ?(verify = true) ?(verify_each = false)
+let run_all ?(verify = true) ?(verify_each = false) ?(eqcheck_each = false)
+    ?eqcheck_options
     ?(lib = Techmap.Genlib.mcnc_lite)
     ?(resynth_options = Resynth.default_options) ~name net =
-  let ins =
+  let verify_ins =
     if verify_each then Verify.instrument ~label:name else Verify.no_instrument
   in
+  let eq_records = ref [] in
+  let eq_ins, eq_seed =
+    if eqcheck_each then
+      Eqcheck.instrument ?options:eqcheck_options ~label:name eq_records
+    else (Verify.no_instrument, fun _ -> ())
+  in
+  let ins = Verify.compose verify_ins eq_ins in
+  eq_seed net;
   let mapped = script_delay_flow net ~lib in
   N.set_name_of_model mapped name;
   ins.Verify.checkpoint "script.delay" [] mapped;
@@ -78,17 +89,27 @@ let run_all ?(verify = true) ?(verify_each = false)
       try Sim.Equiv.seq_equal mapped result
       with Failure _ -> Sim.Equiv.seq_equal_random ~seed:7 mapped result
   in
+  let verify_diags = ref [] in
+  let collect_diags net' =
+    if verify_each then verify_diags := !verify_diags @ Verify.run net'
+  in
+  (* the two flows branch from [mapped]: re-seed the eqcheck reference so
+     each flow's first pass is compared against its real input *)
+  eq_seed mapped;
   let retimed =
     match retiming_flow ~current_period:base.clk ~ins mapped ~lib with
     | Ok net' ->
+      collect_diags net';
       { stats = Some (measure net' ~lib); note = ""; verified = check net' }
     | Error msg -> { stats = None; note = msg; verified = true }
   in
+  eq_seed mapped;
   let resynth_outcome = ref None in
   let resynthesized =
     match resynthesis_flow ~options:resynth_options ~ins mapped with
     | Ok (net', outcome) ->
       resynth_outcome := Some outcome;
+      collect_diags net';
       { stats = Some (measure net' ~lib); note = ""; verified = check net' }
     | Error msg -> { stats = None; note = msg; verified = true }
   in
@@ -96,4 +117,6 @@ let run_all ?(verify = true) ?(verify_each = false)
     base;
     retimed;
     resynthesized;
-    resynth_outcome = !resynth_outcome }
+    resynth_outcome = !resynth_outcome;
+    eqcheck = !eq_records;
+    verify_diags = !verify_diags }

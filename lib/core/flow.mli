@@ -28,6 +28,11 @@ type row = {
   retimed : attempt;               (** + retiming + comb. opt. *)
   resynthesized : attempt;         (** + resynthesis (the paper) *)
   resynth_outcome : Resynth.outcome option;
+  eqcheck : Eqcheck.record list;
+      (** per-pass semantic verdicts ([--eqcheck-each]); [[]] otherwise *)
+  verify_diags : Verify.diagnostic list;
+      (** static-rule diagnostics of the final flow outputs ([verify_each]);
+          [[]] otherwise *)
 }
 
 val measure :
@@ -53,11 +58,15 @@ val resynthesis_flow :
 (** Input must already be mapped. *)
 
 val run_all :
-  ?verify:bool -> ?verify_each:bool -> ?lib:Techmap.Genlib.t ->
+  ?verify:bool -> ?verify_each:bool -> ?eqcheck_each:bool ->
+  ?eqcheck_options:Eqcheck.options -> ?lib:Techmap.Genlib.t ->
   ?resynth_options:Resynth.options ->
   name:string -> Netlist.Network.t -> row
 (** Run the three flows on one circuit and collect a Table I row.
     [verify_each] (default false) runs the netlist verifier — static rules
     plus the journal audit — after every named pass of every flow, failing
     fast with {!Verify.Verification_failed} naming the circuit, the pass and
-    the diagnostics. *)
+    the diagnostics.  [eqcheck_each] (default false) additionally runs the
+    semantic equivalence analyzer ({!Eqcheck.check_pass}) at every pass
+    boundary, collecting per-pass Proved / Refuted / Unknown verdicts in the
+    row instead of raising. *)

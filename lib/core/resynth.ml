@@ -353,22 +353,22 @@ let resynthesize ?(options = default_options) ?(ins = Verify.no_instrument)
             ignore (Netlist.Strash.run net));
         (* local re-mapping.  The mapper builds a fresh network: the DC_ret
            class ids refer to the old one, so the retiming-soundness rule is
-           dropped from here on. *)
-        let net =
+           dropped once the working copy is replaced ([classes_valid]). *)
+        let net, classes_valid =
           if options.remap then begin
             let remapped =
               Techmap.Mapper.map net ~lib:options.lib
                 ~objective:Techmap.Mapper.Min_delay
             in
             ins.Verify.checkpoint "resynth/remap" [] remapped;
-            remapped
+            (remapped, false)
           end
-          else net
+          else (net, true)
         in
         (* redistribute the registers accumulated at the path's end: the
            restructured logic usually admits a better placement (see
            DESIGN.md, ablation `postretime`) *)
-        let net =
+        let net, classes_valid =
           if options.retime_post then begin
             let current_period =
               if Sta.Incremental.network timer == net then
@@ -380,26 +380,28 @@ let resynthesize ?(options = default_options) ?(ins = Verify.no_instrument)
             with
             | Ok (better, _) ->
               ins.Verify.checkpoint "resynth/post-retime" [] better;
-              better
-            | Error _ -> net
+              (better, false)
+            | Error _ -> (net, classes_valid)
           end
-          else net
+          else (net, classes_valid)
         in
         (* constrained min-area retiming, sharing one timer for the budget
-           measurement, the per-move checks and the final verdict *)
+           measurement, the per-move checks and the final verdict.  The
+           rollback of every rejected move is journaled by [N.restore], so
+           the audit covers reverts too; class-constrained sibling merging
+           applies while the working copy still carries the class ids. *)
         let timer =
           if Sta.Incremental.network timer == net then timer
           else Sta.Incremental.create net model
         in
         let period_now = Sta.Incremental.period timer in
         if options.min_area_post then begin
-          (* the audit is vacuous here by design: rejected moves revert via
-             [N.restore], which invalidates journal cursors (observers then
-             resync from scratch); the static rules still run *)
+          let min_area_classes = if classes_valid then class_ids () else [] in
           ignore
-            (ins.Verify.audited "resynth/min-area" [] net (fun () ->
-                 Retiming.Minarea.minimize_registers ~timer net ~model
-                   ~max_period:period_now))
+            (ins.Verify.audited "resynth/min-area" min_area_classes net
+               (fun () ->
+                 Retiming.Minarea.minimize_registers ~classes:min_area_classes
+                   ~timer net ~model ~max_period:period_now))
         end;
         let final_period = Sta.Incremental.period timer in
         (* Accept only genuine gains: a faster clock, or the same clock with

@@ -550,17 +550,31 @@ let copy net =
 
 let restore net snapshot =
   let fresh = copy snapshot in
+  (* Journal every id whose slot differs from the snapshot instead of
+     invalidating outstanding cursors: rollbacks then look like ordinary
+     edits, so incremental observers stay incremental and the journal
+     audit can check rejected-move reverts rather than going vacuous. *)
+  let cap = max net.next_id fresh.next_id in
+  for id = 0 to cap - 1 do
+    let a = if id < Array.length net.nodes then net.nodes.(id) else None in
+    let b = if id < Array.length fresh.nodes then fresh.nodes.(id) else None in
+    let differs =
+      match (a, b) with
+      | None, None -> false
+      | Some _, None | None, Some _ -> true
+      | Some x, Some y ->
+        x.kind <> y.kind || x.fanins <> y.fanins || x.fanouts <> y.fanouts
+        || x.binding <> y.binding
+    in
+    if differs then touch net id
+  done;
   net.nodes <- fresh.nodes;
   net.next_id <- fresh.next_id;
   net.model <- fresh.model;
   net.input_ids <- fresh.input_ids;
   net.output_list <- fresh.output_list;
   net.name_counter <- fresh.name_counter;
-  (* wholesale replacement: stale all journal cursors and the topo cache so
-     observers resynchronize from scratch *)
   net.revision <- net.revision + 1;
-  net.journal_base <- net.journal_base + net.journal_len + 1;
-  net.journal_len <- 0;
   net.outputs_revision <- net.outputs_revision + 1;
   topo_invalidate net
 

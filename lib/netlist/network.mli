@@ -53,7 +53,8 @@ val capacity : t -> int
     for {!journal_since} to learn the dirty region.  The journal is bounded:
     once it outgrows an internal cap it is compacted, after which older
     cursors return [None] and observers must resynchronize from scratch.
-    {!restore} also invalidates all outstanding cursors. *)
+    {!restore} journals every id whose slot differs from the snapshot, so
+    outstanding cursors survive a rollback. *)
 
 val revision : t -> int
 (** Monotonic mutation counter; equal revisions imply an unchanged network. *)
@@ -194,7 +195,10 @@ val copy : t -> t
 val restore : t -> t -> unit
 (** [restore net snapshot] reverts [net] in place to the state captured by an
     earlier {!copy}.  Node handles obtained before the snapshot are stale
-    afterwards; re-fetch them by id. *)
+    afterwards; re-fetch them by id.  Every id whose node record differs
+    between the current network and the snapshot is journaled, so journal
+    cursors taken before the rollback remain valid and see the revert as an
+    ordinary batch of edits. *)
 
 (** {1 Cleanup} *)
 

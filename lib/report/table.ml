@@ -95,8 +95,8 @@ let summary rows =
    row builds its own network, timers and BDD managers from its entry's fixed
    seed, so the rows are independent and the joined output is byte-identical
    to a serial run. *)
-let run_suite ?(verify = true) ?(verify_each = false) ?resynth_options ?names
-    ?(jobs = 1) () =
+let run_suite ?(verify = true) ?(verify_each = false) ?(eqcheck_each = false)
+    ?eqcheck_options ?resynth_options ?names ?(jobs = 1) () =
   let entries =
     match names with
     | None -> Circuits.Suite.entries
@@ -105,6 +105,15 @@ let run_suite ?(verify = true) ?(verify_each = false) ?resynth_options ?names
   Core.Parallel.map_list ~jobs
     (fun e ->
       let net = e.Circuits.Suite.build () in
-      Core.Flow.run_all ~verify ~verify_each ?resynth_options
-        ~name:e.Circuits.Suite.name net)
+      Core.Flow.run_all ~verify ~verify_each ~eqcheck_each ?eqcheck_options
+        ?resynth_options ~name:e.Circuits.Suite.name net)
     entries
+
+let eqcheck_records rows = List.concat_map (fun r -> r.Core.Flow.eqcheck) rows
+
+let eqcheck_summary rows =
+  let proved, refuted, unknown = Eqcheck.counts (eqcheck_records rows) in
+  Printf.sprintf
+    "eqcheck: %d pass verdicts - %d proved, %d refuted, %d unknown\n"
+    (proved + refuted + unknown)
+    proved refuted unknown

@@ -13,7 +13,8 @@ val summary : Core.Flow.row list -> string
     retiming flow (the paper's headline claim). *)
 
 val run_suite :
-  ?verify:bool -> ?verify_each:bool ->
+  ?verify:bool -> ?verify_each:bool -> ?eqcheck_each:bool ->
+  ?eqcheck_options:Eqcheck.options ->
   ?resynth_options:Core.Resynth.options ->
   ?names:string list -> ?jobs:int -> unit -> Core.Flow.row list
 (** Run the three flows over the benchmark suite (all entries by default).
@@ -21,4 +22,11 @@ val run_suite :
     its own network and BDD managers from a fixed per-entry seed, so the
     result list is identical for every [jobs] value.  [verify_each] runs the
     netlist verifier after every named pass of every flow, failing fast with
-    [Verify.Verification_failed] (see {!Core.Flow.run_all}). *)
+    [Verify.Verification_failed] (see {!Core.Flow.run_all}).  [eqcheck_each]
+    collects per-pass semantic equivalence verdicts in each row. *)
+
+val eqcheck_records : Core.Flow.row list -> Eqcheck.record list
+(** All per-pass eqcheck records of the rows, in row order. *)
+
+val eqcheck_summary : Core.Flow.row list -> string
+(** One line: verdict counts across all rows. *)

@@ -1,7 +1,17 @@
 module N = Netlist.Network
 
-(* Merge every class of sibling latches (same driver, same init). *)
-let merge_all_siblings net =
+(* Merge every class of sibling latches (same driver, same init).  When
+   DC_ret equivalence classes are supplied, sibling groups are partitioned by
+   class first so a merge never straddles two classes — the merge-back
+   legality condition checked by [Verify.merge_legal]. *)
+let merge_all_siblings ?(classes = []) net =
+  let class_of = Hashtbl.create 16 in
+  List.iteri
+    (fun ci cls -> List.iter (fun id -> Hashtbl.replace class_of id ci) cls)
+    classes;
+  let class_key id =
+    match Hashtbl.find_opt class_of id with Some ci -> ci | None -> -1
+  in
   let merged = ref 0 in
   let seen = Hashtbl.create 64 in
   List.iter
@@ -15,11 +25,23 @@ let merge_all_siblings net =
             |> List.filter (fun s -> N.latch_init s = N.latch_init l)
           in
           List.iter (fun s -> Hashtbl.replace seen s.N.id ()) sibs;
-          if List.length sibs > 1 then begin
-            match Moves.merge_siblings net sibs with
-            | Ok _ -> merged := !merged + List.length sibs - 1
-            | Error _ -> ()
-          end
+          let groups =
+            List.sort_uniq compare (List.map (fun s -> class_key s.N.id) sibs)
+            |> List.map (fun k ->
+                   List.filter (fun s -> class_key s.N.id = k) sibs)
+          in
+          List.iter
+            (fun group ->
+              if List.length group > 1 then begin
+                let ids = List.map (fun s -> s.N.id) group in
+                match Verify.merge_legal ~equiv_classes:classes ids with
+                | _ :: _ -> () (* unreachable after partitioning; be safe *)
+                | [] -> (
+                  match Moves.merge_siblings net group with
+                  | Ok _ -> merged := !merged + List.length group - 1
+                  | Error _ -> ())
+              end)
+            groups
         end)
     (N.latches net);
   !merged
@@ -53,11 +75,11 @@ let backward_profit net v =
     outs - ins
   end
 
-let minimize_registers ?timer net ~model ~max_period =
+let minimize_registers ?(classes = []) ?timer net ~model ~max_period =
   (* Every candidate move pays a period check; an incremental timer makes an
      accepted move cost only its affected cone.  A rejected move reverts via
-     [N.restore], which stales the timer's journal cursor, so the next check
-     after a revert is a full resync — no worse than the old full STA. *)
+     [N.restore], which journals the reverted ids, so the timer resyncs just
+     the touched cone rather than falling back to a full analysis. *)
   let timer =
     match timer with
     | Some t when Sta.Incremental.network t == net -> t
@@ -67,7 +89,7 @@ let minimize_registers ?timer net ~model ~max_period =
   let improved = ref true in
   while !improved do
     improved := false;
-    let merges = merge_all_siblings net in
+    let merges = merge_all_siblings ~classes net in
     if merges > 0 then begin
       eliminated := !eliminated + merges;
       improved := true

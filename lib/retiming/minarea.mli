@@ -8,15 +8,21 @@
     - forward moves across nodes whose fanin latches would all die;
     - backward moves across nodes with more latched outputs than fanins. *)
 
-val merge_all_siblings : Netlist.Network.t -> int
+val merge_all_siblings :
+  ?classes:int list list -> Netlist.Network.t -> int
 (** Merge every class of sibling latches (same data input, same initial
     value); the building block of the backward fanout-stem move.  Returns
-    registers eliminated. *)
+    registers eliminated.  [classes] supplies the DC_ret register-equivalence
+    classes: sibling groups are partitioned so no merge straddles two
+    distinct classes (see {!Verify.merge_legal}); the default [[]] keeps the
+    unpartitioned behavior. *)
 
 val minimize_registers :
+  ?classes:int list list ->
   ?timer:Sta.Incremental.t ->
   Netlist.Network.t -> model:Sta.model -> max_period:float -> int
 (** Mutates the network; returns the number of registers eliminated.  The
     per-move period checks run on [timer] when it is a handle for this very
     network (a private handle is created otherwise), so callers already
-    holding one avoid repeated full analyses. *)
+    holding one avoid repeated full analyses.  [classes] constrains sibling
+    merges as in {!merge_all_siblings}. *)

@@ -7,6 +7,18 @@
 
 exception Too_large of string
 
+val leaf_names : Netlist.Network.t -> string list
+(** Sorted names of the combinational leaves: primary inputs and latch
+    outputs. *)
+
+val endpoint_names : Netlist.Network.t -> string list
+(** Sorted names of the combinational endpoints: primary outputs and latch
+    data inputs (the latter prefixed ["next:"]). *)
+
+val eval_endpoints :
+  Netlist.Network.t -> (string -> bool) -> (string * bool) list
+(** Evaluate every endpoint under a leaf assignment given by name. *)
+
 val comb_equal_exhaustive : Netlist.Network.t -> Netlist.Network.t -> bool
 (** Exhaustive over all leaf assignments; requires matching input and latch
     names and at most 16 leaves. *)

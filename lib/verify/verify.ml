@@ -350,6 +350,30 @@ let check_retiming net equiv_classes out =
              rest))
     equiv_classes
 
+(* A min-area merge may only collapse sibling latches whose DC_ret classes
+   permit it: a merge group that straddles two distinct classes would leave
+   don't-care cubes referring to registers that no longer track their class,
+   so the simplifications justified by those cubes become unsound.  Groups
+   entirely inside one class (or touching at most one class plus class-free
+   latches) are fine. *)
+let merge_legal ~equiv_classes ids =
+  let class_of = Hashtbl.create 16 in
+  List.iteri
+    (fun ci cls -> List.iter (fun id -> Hashtbl.replace class_of id ci) cls)
+    equiv_classes;
+  let hit =
+    List.sort_uniq compare
+      (List.filter_map (fun id -> Hashtbl.find_opt class_of id) ids)
+  in
+  match hit with
+  | [] | [ _ ] -> []
+  | _ :: _ :: _ ->
+    [ diag "retiming/merge-back" ids
+        (Printf.sprintf
+           "merge group of %d latch(es) straddles %d distinct \
+            register-equivalence classes"
+           (List.length ids) (List.length hit)) ]
+
 (* --- rule group: binding sanity --------------------------------------------- *)
 
 let check_bindings net out =
@@ -467,8 +491,10 @@ module Audit = struct
   let diff snap net =
     match N.journal_since net snap.cursor with
     | None ->
-      (* the cursor was invalidated (restore or compaction): incremental
-         observers resynchronize from scratch, so nothing can hide *)
+      (* the cursor was invalidated (journal compaction): incremental
+         observers resynchronize from scratch, so nothing can hide.
+         [Network.restore] journals its diff, so rollbacks no longer land
+         here and rejected-move reverts are audited like ordinary edits. *)
       []
     | Some journaled_ids ->
       let journaled = Hashtbl.create 64 in
@@ -520,6 +546,15 @@ type instrument = {
 
 let no_instrument =
   { checkpoint = (fun _ _ _ -> ()); audited = (fun _ _ _ f -> f ()) }
+
+let compose a b =
+  { checkpoint =
+      (fun pass classes net ->
+        a.checkpoint pass classes net;
+        b.checkpoint pass classes net);
+    audited =
+      (fun pass classes net f ->
+        a.audited pass classes net (fun () -> b.audited pass classes net f)) }
 
 let instrument ~label =
   { checkpoint =

@@ -79,6 +79,15 @@ val render : diagnostic list -> string
 val render_json : diagnostic list -> string
 (** The same list as a JSON array of objects. *)
 
+val merge_legal :
+  equiv_classes:int list list -> int list -> diagnostic list
+(** Min-area merge-back legality: the latch ids about to be merged into one
+    register must not straddle two distinct register-equivalence classes —
+    otherwise don't-care cubes already used to simplify logic would refer to
+    registers that no longer track their class.  Returns a
+    [retiming/merge-back] error diagnostic when the group is illegal, [[]]
+    when it is fine (including ids outside every class). *)
+
 exception Verification_failed of string
 (** Raised by {!expect_clean}, {!audited} and {!debug_check}; the payload
     names the circuit and pass and embeds {!render} output. *)
@@ -108,10 +117,11 @@ module Audit : sig
       else a [journal/unjournaled] error is reported ([journal/outputs] for
       an output-list change without an [outputs_revision] bump).  Name
       changes are exempt: [set_name] is unjournaled by design (names carry
-      no timing or structural meaning).  When the journal no longer reaches
-      the cursor (compaction or {!Netlist.Network.restore}), the audit is
-      vacuous and returns [] — observers fall back to a full resync in that
-      case, so no corruption can hide there. *)
+      no timing or structural meaning).  {!Netlist.Network.restore} journals
+      its diff, so rejected-move rollbacks are audited like ordinary edits;
+      only journal compaction still invalidates the cursor, in which case the
+      audit is vacuous and returns [] — observers fall back to a full resync
+      there, so no corruption can hide. *)
 end
 
 val audited :
@@ -143,6 +153,10 @@ type instrument = {
 val no_instrument : instrument
 
 val instrument : label:string -> instrument
+
+val compose : instrument -> instrument -> instrument
+(** Run two instruments at every boundary: checkpoints fire in order, audited
+    passes nest (the first argument's audit wraps the second's). *)
 
 (** {1 Debug assertions}
 

@@ -310,7 +310,7 @@ let test_journal_records_edits () =
        (List.mem next.N.id ids && not (List.mem out.N.id ids))
    | None -> Alcotest.fail "second cursor must be reachable")
 
-let test_journal_staled_by_restore () =
+let test_journal_survives_restore () =
   let net = toggle_circuit () in
   let snapshot = N.copy net in
   let mark = N.journal_mark net in
@@ -318,8 +318,16 @@ let test_journal_staled_by_restore () =
   N.set_cover net out or_cover;
   N.restore net snapshot;
   (match N.journal_since net mark with
-   | None -> ()
-   | Some _ -> Alcotest.fail "restore must invalidate outstanding cursors")
+   | None -> Alcotest.fail "restore must keep outstanding cursors valid"
+   | Some ids ->
+     Alcotest.(check bool) "reverted node journaled" true
+       (List.mem out.N.id ids));
+  (* a rollback to an identical state journals nothing new *)
+  let mark2 = N.journal_mark net in
+  N.restore net snapshot;
+  (match N.journal_since net mark2 with
+   | None -> Alcotest.fail "no-op restore must keep cursors valid"
+   | Some ids -> Alcotest.(check (list int)) "no-op restore journals nothing" [] ids)
 
 let test_journal_compaction () =
   let net = toggle_circuit () in
@@ -404,8 +412,8 @@ let () =
           Alcotest.test_case "copy independence" `Quick test_copy_independent ] );
       ( "journal",
         [ Alcotest.test_case "records edits" `Quick test_journal_records_edits;
-          Alcotest.test_case "staled by restore" `Quick
-            test_journal_staled_by_restore;
+          Alcotest.test_case "survives restore" `Quick
+            test_journal_survives_restore;
           Alcotest.test_case "compaction" `Quick test_journal_compaction;
           Alcotest.test_case "topo cache tracks edits" `Quick
             test_topo_cache_tracks_edits;

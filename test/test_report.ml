@@ -15,7 +15,9 @@ let row name base retimed resynthesized =
     base;
     retimed;
     resynthesized;
-    resynth_outcome = None }
+    resynth_outcome = None;
+    eqcheck = [];
+    verify_diags = [] }
 
 let sample_rows =
   [ row "alpha" (stats 10 5.0 100.0)
