@@ -18,6 +18,21 @@ let line = String.make 86 '='
 let section title =
   Printf.printf "\n%s\n== %s\n%s\n%!" line title line
 
+(* BENCH_*.json emission goes through the obs metrics registry: each section
+   publishes its measurements as gauges/infos under a "bench.<section>"
+   prefix, then dumps that namespace.  Histograms observed under the prefix
+   (e.g. the containment probe distributions) ride along automatically. *)
+let emit_bench ~file ~prefix ~title ~unit values =
+  Obs.Metrics.enable ();
+  Obs.Metrics.set_info (prefix ^ ".benchmark") title;
+  Obs.Metrics.set_info (prefix ^ ".unit") unit;
+  List.iter
+    (fun (key, v) ->
+      Obs.Metrics.set_gauge (Obs.Metrics.gauge (prefix ^ "." ^ key)) v)
+    values;
+  Obs.Export.write_file file (Obs.Export.metrics_json ~prefix ());
+  Printf.printf "  -> %s\n" file
+
 (* --- 1. Section III example ---------------------------------------------------- *)
 
 let section3_example () =
@@ -222,24 +237,17 @@ let sta_bench ?(emit_json = true) ~circuits () =
     (name, nnodes, reps, full_s, incr_s, speedup)
   in
   let rows = List.map bench_circuit circuits in
-  if emit_json then begin
-    let oc = open_out "BENCH_sta.json" in
-    Printf.fprintf oc
-      "{\n  \"benchmark\": \"single-edit clock-period re-query\",\n\
-      \  \"unit\": \"ns_per_query\",\n  \"circuits\": [\n";
-    List.iteri
-      (fun i (name, gates, reps, full_s, incr_s, speedup) ->
-        Printf.fprintf oc
-          "    { \"name\": \"%s\", \"logic_nodes\": %d, \"queries\": %d,\n\
-          \      \"full_ns\": %.1f, \"incremental_ns\": %.1f, \
-           \"speedup\": %.2f }%s\n"
-          name gates reps (full_s *. 1e9) (incr_s *. 1e9) speedup
-          (if i = List.length rows - 1 then "" else ","))
-      rows;
-    Printf.fprintf oc "  ]\n}\n";
-    close_out oc;
-    Printf.printf "  -> BENCH_sta.json\n"
-  end;
+  if emit_json then
+    emit_bench ~file:"BENCH_sta.json" ~prefix:"bench.sta"
+      ~title:"single-edit clock-period re-query" ~unit:"ns_per_query"
+      (List.concat_map
+         (fun (name, gates, reps, full_s, incr_s, speedup) ->
+           [ (name ^ ".logic_nodes", float_of_int gates);
+             (name ^ ".queries", float_of_int reps);
+             (name ^ ".full_ns", full_s *. 1e9);
+             (name ^ ".incremental_ns", incr_s *. 1e9);
+             (name ^ ".speedup", speedup) ])
+         rows);
   rows
 
 (* --- 3d. Packed vs legacy cube kernel ------------------------------------------------ *)
@@ -377,25 +385,82 @@ let logic_bench ?(emit_json = true) ?(quick = false) () =
       /. float_of_int (List.length results))
   in
   Printf.printf "  geometric-mean speedup: %.2fx\n" geomean;
-  if emit_json then begin
-    let oc = open_out "BENCH_logic.json" in
-    Printf.fprintf oc
-      "{\n  \"benchmark\": \"packed vs legacy cube kernel\",\n\
-      \  \"unit\": \"ns_per_pass\",\n  \"cubes_per_set\": %d,\n\
-      \  \"geomean_speedup\": %.2f,\n  \"ops\": [\n"
-      cubes geomean;
-    List.iteri
-      (fun i (name, vars, legacy_s, packed_s, speedup) ->
-        Printf.fprintf oc
-          "    { \"op\": \"%s\", \"vars\": %d, \"legacy_ns\": %.0f, \
-           \"packed_ns\": %.0f, \"speedup\": %.2f }%s\n"
-          name vars (legacy_s *. 1e9) (packed_s *. 1e9) speedup
-          (if i = List.length results - 1 then "" else ","))
-      results;
-    Printf.fprintf oc "  ]\n}\n";
-    close_out oc;
-    Printf.printf "  -> BENCH_logic.json\n"
-  end;
+  (* single-cube containment: classic all-pairs sweep vs the
+     signature-bucketed candidate index, on covers big enough for the
+     quadratic term to hurt.  Outputs must agree cube for cube; per-call
+     probe counts are sampled from the logic.scc instrumentation into
+     bench.logic histograms so BENCH_logic.json carries before/after. *)
+  Obs.Metrics.enable ();
+  let h_linear = Obs.Metrics.histogram "bench.logic.scc_probes_linear" in
+  let h_indexed = Obs.Metrics.histogram "bench.logic.scc_probes_indexed" in
+  let c_probes = Obs.Metrics.counter "logic.scc.pairs_probed" in
+  let scc_sizes = if quick then [ 256 ] else [ 256; 1024; 2048 ] in
+  let scc_results =
+    List.map
+      (fun k ->
+        let vars = 24 in
+        let strings = random_cube_strings st ~vars ~cubes:k in
+        let f = Logic.Cover.of_strings vars (Array.to_list strings) in
+        let probed algo h =
+          let v0 = Obs.Metrics.counter_value c_probes in
+          let r = Logic.Cover.single_cube_containment ~algo f in
+          Obs.Metrics.observe h (Obs.Metrics.counter_value c_probes - v0);
+          r
+        in
+        let lin = probed `Linear h_linear in
+        let idx = probed `Indexed h_indexed in
+        let same =
+          Logic.Cover.size lin = Logic.Cover.size idx
+          && List.for_all2
+               (fun a b -> Logic.Cube.compare a b = 0)
+               lin.Logic.Cover.cubes idx.Logic.Cover.cubes
+        in
+        if not same then begin
+          Printf.eprintf
+            "logic bench: linear and indexed containment disagree at \
+             cubes=%d\n"
+            k;
+          exit 1
+        end;
+        let linear_s =
+          time_pass ~min_s (fun () ->
+              Logic.Cover.size
+                (Logic.Cover.single_cube_containment ~algo:`Linear f))
+        in
+        let indexed_s =
+          time_pass ~min_s (fun () ->
+              Logic.Cover.size
+                (Logic.Cover.single_cube_containment ~algo:`Indexed f))
+        in
+        let speedup = linear_s /. indexed_s in
+        Printf.printf
+          "  %-16s cubes=%-4d kept=%-4d linear %10.1f us  indexed %8.1f us  \
+           speedup %6.2fx\n%!"
+          "scc-index" k (Logic.Cover.size idx) (linear_s *. 1e6)
+          (indexed_s *. 1e6) speedup;
+        (k, linear_s, indexed_s, speedup))
+      scc_sizes
+  in
+  if emit_json then
+    emit_bench ~file:"BENCH_logic.json" ~prefix:"bench.logic"
+      ~title:"packed vs legacy cube kernel + containment index"
+      ~unit:"ns_per_pass"
+      (("cubes_per_set", float_of_int cubes)
+       :: ("geomean_speedup", geomean)
+       :: (List.concat_map
+             (fun (name, vars, legacy_s, packed_s, speedup) ->
+               let key = Printf.sprintf "%s.vars%d" name vars in
+               [ (key ^ ".legacy_ns", legacy_s *. 1e9);
+                 (key ^ ".packed_ns", packed_s *. 1e9);
+                 (key ^ ".speedup", speedup) ])
+             results
+          @ List.concat_map
+              (fun (k, linear_s, indexed_s, speedup) ->
+                let key = Printf.sprintf "scc.cubes%d" k in
+                [ (key ^ ".linear_ns", linear_s *. 1e9);
+                  (key ^ ".indexed_ns", indexed_s *. 1e9);
+                  (key ^ ".speedup", speedup) ])
+              scc_results));
   geomean
 
 (* --- 3e. Serial vs domain-parallel Table I ------------------------------------------- *)
@@ -429,18 +494,17 @@ let suite_bench ?(emit_json = true) ?(verify = true) ?names ?(jobs = 4) () =
     rows verify serial_s jobs parallel_s speedup;
   Printf.printf "  available cores (recommended_domain_count): %d\n"
     (Domain.recommended_domain_count ());
-  if emit_json then begin
-    let oc = open_out "BENCH_suite.json" in
-    Printf.fprintf oc
-      "{\n  \"benchmark\": \"Table I suite, serial vs domain-parallel\",\n\
-      \  \"rows\": %d,\n  \"verify\": %b,\n  \"jobs\": %d,\n\
-      \  \"cores\": %d,\n  \"serial_s\": %.2f,\n  \"parallel_s\": %.2f,\n\
-      \  \"speedup\": %.2f,\n  \"byte_identical\": true\n}\n"
-      rows verify jobs (Domain.recommended_domain_count ()) serial_s
-      parallel_s speedup;
-    close_out oc;
-    Printf.printf "  -> BENCH_suite.json\n"
-  end;
+  if emit_json then
+    emit_bench ~file:"BENCH_suite.json" ~prefix:"bench.suite"
+      ~title:"Table I suite, serial vs domain-parallel" ~unit:"s_per_run"
+      [ ("rows", float_of_int rows);
+        ("verify", if verify then 1.0 else 0.0);
+        ("jobs", float_of_int jobs);
+        ("cores", float_of_int (Domain.recommended_domain_count ()));
+        ("serial_s", serial_s);
+        ("parallel_s", parallel_s);
+        ("speedup", speedup);
+        ("byte_identical", 1.0) ];
   speedup
 
 (* --- 3f. Verifier overhead ----------------------------------------------------------- *)
@@ -490,17 +554,14 @@ let verifier_bench ?(emit_json = true) ?names () =
     "  %d rows: checker off %.2fs, on %.2fs, overhead %+.1f%% (results \
      byte-identical)\n"
     (List.length names) off_s on_s overhead;
-  if emit_json then begin
-    let oc = open_out "BENCH_verify.json" in
-    Printf.fprintf oc
-      "{\n  \"benchmark\": \"--verify-each overhead on Table I subset\",\n\
-      \  \"rows\": %d,\n  \"verify\": false,\n\
-      \  \"checker_off_s\": %.2f,\n  \"checker_on_s\": %.2f,\n\
-      \  \"overhead_pct\": %.1f,\n  \"byte_identical\": true\n}\n"
-      (List.length names) off_s on_s overhead;
-    close_out oc;
-    Printf.printf "  -> BENCH_verify.json\n"
-  end;
+  if emit_json then
+    emit_bench ~file:"BENCH_verify.json" ~prefix:"bench.verify"
+      ~title:"--verify-each overhead on Table I subset" ~unit:"s_per_run"
+      [ ("rows", float_of_int (List.length names));
+        ("checker_off_s", off_s);
+        ("checker_on_s", on_s);
+        ("overhead_pct", overhead);
+        ("byte_identical", 1.0) ];
   overhead
 
 (* Cost of --eqcheck-each: the same suite subset with the semantic
@@ -555,18 +616,17 @@ let eqcheck_bench ?(emit_json = true) ?names () =
      byte-identical)\n\
     \  verdicts: %d proved, %d refuted, %d unknown\n"
     (List.length names) off_s on_s overhead proved refuted unknown;
-  if emit_json then begin
-    let oc = open_out "BENCH_eqcheck.json" in
-    Printf.fprintf oc
-      "{\n  \"benchmark\": \"--eqcheck-each overhead on Table I subset\",\n\
-      \  \"rows\": %d,\n  \"verify\": false,\n\
-      \  \"analyzer_off_s\": %.2f,\n  \"analyzer_on_s\": %.2f,\n\
-      \  \"overhead_pct\": %.1f,\n  \"byte_identical\": true,\n\
-      \  \"proved\": %d,\n  \"refuted\": %d,\n  \"unknown\": %d\n}\n"
-      (List.length names) off_s on_s overhead proved refuted unknown;
-    close_out oc;
-    Printf.printf "  -> BENCH_eqcheck.json\n"
-  end;
+  if emit_json then
+    emit_bench ~file:"BENCH_eqcheck.json" ~prefix:"bench.eqcheck"
+      ~title:"--eqcheck-each overhead on Table I subset" ~unit:"s_per_run"
+      [ ("rows", float_of_int (List.length names));
+        ("analyzer_off_s", off_s);
+        ("analyzer_on_s", on_s);
+        ("overhead_pct", overhead);
+        ("byte_identical", 1.0);
+        ("proved", float_of_int proved);
+        ("refuted", float_of_int refuted);
+        ("unknown", float_of_int unknown) ];
   overhead
 
 (* --- 4. Bechamel kernels ------------------------------------------------------------ *)
@@ -716,6 +776,18 @@ let () =
     | Some _ -> 4
     | None -> 4
   in
+  let trace = arg_value "--trace" in
+  let trace_format =
+    match arg_value "--trace-format" with
+    | None | Some "chrome" -> `Chrome
+    | Some "json" -> `Json
+    | Some _ ->
+      prerr_endline "bench: --trace-format expects chrome or json";
+      exit 2
+  in
+  let metrics = List.mem "--metrics" args in
+  if trace <> None then Obs.Trace.enable ();
+  if metrics || trace <> None then Obs.Metrics.enable ();
   Printf.printf
     "Retiming-induced state register equivalence: evaluation harness%s\n"
     (if smoke then " (smoke)"
@@ -752,4 +824,17 @@ let () =
     ignore (eqcheck_bench ());
     bechamel_kernels ();
     Printf.printf "\ndone.\n"
-  end
+  end;
+  (match trace with
+   | Some file ->
+     let contents =
+       match trace_format with
+       | `Chrome -> Obs.Export.chrome_json ()
+       | `Json -> Obs.Export.spans_json ()
+     in
+     Obs.Export.write_file file contents;
+     Printf.printf "trace: %d spans written to %s\n"
+       (List.length (Obs.Trace.spans ()))
+       file
+   | None -> ());
+  if metrics then print_string (Obs.Export.text_summary ())

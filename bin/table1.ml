@@ -2,6 +2,7 @@
 
    Usage: table1 [--jobs N] [--names a,b,c] [--no-verify] [--verify-each]
                  [--verify-json FILE] [--eqcheck-each] [--eqcheck-json FILE]
+                 [--trace FILE] [--trace-format chrome|json] [--metrics]
 
    --jobs N        run N suite rows in parallel domains (default 1; 0 = one
                    per recommended core).  Output is byte-identical for every
@@ -16,7 +17,13 @@
    --eqcheck-each  run the semantic equivalence analyzer at every pass
                    boundary; per-pass Proved / Refuted / Unknown verdicts are
                    reported, and any Refuted verdict exits non-zero
-   --eqcheck-json  write the eqcheck verdicts (JSON array) to FILE *)
+   --eqcheck-json  write the eqcheck verdicts (JSON array) to FILE
+   --trace FILE    record per-pass spans and write them to FILE after the run
+   --trace-format  chrome (default; Perfetto/chrome://tracing-loadable
+                   trace_event JSON, one track per worker domain) or json
+                   (the native span array)
+   --metrics       enable the metrics registry and print a text summary of
+                   counters, gauges and histograms after the table *)
 
 let () =
   let jobs = ref 1 in
@@ -26,6 +33,9 @@ let () =
   let eqcheck_each = ref false in
   let eqcheck_json = ref None in
   let verify_json = ref None in
+  let trace = ref None in
+  let trace_format = ref `Chrome in
+  let metrics = ref false in
   let rec parse = function
     | [] -> ()
     | "--jobs" :: n :: rest ->
@@ -53,17 +63,45 @@ let () =
     | "--eqcheck-json" :: file :: rest ->
       eqcheck_json := Some file;
       parse rest
+    | "--trace" :: file :: rest ->
+      trace := Some file;
+      parse rest
+    | "--trace-format" :: fmt :: rest ->
+      (match fmt with
+       | "chrome" -> trace_format := `Chrome
+       | "json" -> trace_format := `Json
+       | _ ->
+         prerr_endline "table1: --trace-format expects chrome or json";
+         exit 2);
+      parse rest
+    | "--metrics" :: rest ->
+      metrics := true;
+      parse rest
     | arg :: _ ->
       Printf.eprintf
         "table1: unknown argument %s\n\
          usage: table1 [--jobs N] [--names a,b,c] [--no-verify] \
          [--verify-each] [--verify-json FILE] [--eqcheck-each] \
-         [--eqcheck-json FILE]\n"
+         [--eqcheck-json FILE] [--trace FILE] [--trace-format chrome|json] \
+         [--metrics]\n"
         arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (match !names with
+   | Some ns ->
+     (match Circuits.Suite.unknown_names ns with
+      | [] -> ()
+      | bad ->
+        Printf.eprintf "table1: unknown benchmark%s %s\nvalid names: %s\n"
+          (if List.length bad > 1 then "s" else "")
+          (String.concat ", " bad)
+          (String.concat ", " Circuits.Suite.names);
+        exit 2)
+   | None -> ());
   let jobs = if !jobs = 0 then Core.Parallel.default_jobs () else !jobs in
+  if !trace <> None then Obs.Trace.enable ();
+  if !metrics || !trace <> None then Obs.Metrics.enable ();
   let t0 = Unix.gettimeofday () in
   let rows =
     try
@@ -110,6 +148,19 @@ let () =
     | Some file -> write_file file (Eqcheck.render_json records)
     | None -> ()
   end;
+  (match !trace with
+   | Some file ->
+     let contents =
+       match !trace_format with
+       | `Chrome -> Obs.Export.chrome_json ()
+       | `Json -> Obs.Export.spans_json ()
+     in
+     Obs.Export.write_file file contents;
+     Printf.printf "trace: %d spans written to %s\n"
+       (List.length (Obs.Trace.spans ()))
+       file
+   | None -> ());
+  if !metrics then print_string (Obs.Export.text_summary ());
   Printf.printf "regenerated in %.1fs (%d jobs)\n"
     (Unix.gettimeofday () -. t0)
     jobs;

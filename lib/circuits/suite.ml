@@ -124,7 +124,12 @@ let entries =
          prohibitive at this size (the BDD effort cap falls back to random \
          co-simulation)" } ]
 
+let names = List.map (fun e -> e.name) entries
+
 let find name =
   match List.find_opt (fun e -> e.name = name) entries with
   | Some e -> e
   | None -> invalid_arg ("Suite.find: unknown benchmark " ^ name)
+
+let unknown_names requested =
+  List.filter (fun n -> not (List.mem n names)) requested

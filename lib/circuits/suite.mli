@@ -24,4 +24,12 @@ val entries : entry list
 (** The 21 rows, in the paper's order (the table rows plus s1196 and
     s5378, which the paper's text discusses). *)
 
+val names : string list
+(** Benchmark names, in suite order. *)
+
 val find : string -> entry
+(** Raises [Invalid_argument] on an unknown name; callers taking
+    user-supplied names should validate with {!unknown_names} first. *)
+
+val unknown_names : string list -> string list
+(** The subset of the argument that names no suite entry. *)

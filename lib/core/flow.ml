@@ -40,17 +40,26 @@ let script_delay_flow net ~lib = Synth_opt.Script.script_delay net ~lib
    The default instrument is free of cost. *)
 let retiming_flow ?current_period ?(ins = Verify.no_instrument) net ~lib =
   let model = Sta.mapped_delay ~default:1.0 () in
-  match Retiming.Minperiod.retime_min_period ?current_period net ~model with
+  let pass name f = Obs.Trace.span ~cat:"retiming" name f in
+  match
+    pass "retiming/min-period" (fun () ->
+        Retiming.Minperiod.retime_min_period ?current_period net ~model)
+  with
   | Error failure -> Error (Retiming.Minperiod.failure_message failure)
   | Ok (retimed, _) ->
     ins.Verify.checkpoint "retiming/min-period" [] retimed;
-    ins.Verify.audited "retiming/unreachable-simplify" [] retimed (fun () ->
-        ignore (Dontcare.Reach.simplify_with_unreachable retimed));
-    ins.Verify.audited "retiming/simplify-nodes" [] retimed (fun () ->
-        ignore (Synth_opt.Script.simplify_nodes retimed));
-    ins.Verify.audited "retiming/sweep" [] retimed (fun () -> N.sweep retimed);
+    pass "retiming/unreachable-simplify" (fun () ->
+        ins.Verify.audited "retiming/unreachable-simplify" [] retimed (fun () ->
+            ignore (Dontcare.Reach.simplify_with_unreachable retimed)));
+    pass "retiming/simplify-nodes" (fun () ->
+        ins.Verify.audited "retiming/simplify-nodes" [] retimed (fun () ->
+            ignore (Synth_opt.Script.simplify_nodes retimed)));
+    pass "retiming/sweep" (fun () ->
+        ins.Verify.audited "retiming/sweep" [] retimed (fun () ->
+            N.sweep retimed));
     let remapped =
-      Techmap.Mapper.map retimed ~lib ~objective:Techmap.Mapper.Min_delay
+      pass "retiming/remap" (fun () ->
+          Techmap.Mapper.map retimed ~lib ~objective:Techmap.Mapper.Min_delay)
     in
     ins.Verify.checkpoint "retiming/remap" [] remapped;
     Ok remapped
@@ -65,6 +74,10 @@ let run_all ?(verify = true) ?(verify_each = false) ?(eqcheck_each = false)
     ?eqcheck_options
     ?(lib = Techmap.Genlib.mcnc_lite)
     ?(resynth_options = Resynth.default_options) ~name net =
+  Obs.Trace.span ~cat:"flow"
+    ~args:[ ("circuit", Obs.Trace.Str name) ]
+    ("flow/" ^ name)
+  @@ fun () ->
   let verify_ins =
     if verify_each then Verify.instrument ~label:name else Verify.no_instrument
   in
@@ -76,7 +89,10 @@ let run_all ?(verify = true) ?(verify_each = false) ?(eqcheck_each = false)
   in
   let ins = Verify.compose verify_ins eq_ins in
   eq_seed net;
-  let mapped = script_delay_flow net ~lib in
+  let mapped =
+    Obs.Trace.span ~cat:"flow" "script.delay" (fun () ->
+        script_delay_flow net ~lib)
+  in
   N.set_name_of_model mapped name;
   ins.Verify.checkpoint "script.delay" [] mapped;
   (* one timer per network: the base measurement and the retiming flow's
@@ -86,8 +102,9 @@ let run_all ?(verify = true) ?(verify_each = false) ?(eqcheck_each = false)
   let check result =
     if not verify then true
     else
-      try Sim.Equiv.seq_equal mapped result
-      with Failure _ -> Sim.Equiv.seq_equal_random ~seed:7 mapped result
+      Obs.Trace.span ~cat:"verify" "verify/seq-equal" (fun () ->
+          try Sim.Equiv.seq_equal mapped result
+          with Failure _ -> Sim.Equiv.seq_equal_random ~seed:7 mapped result)
   in
   let verify_diags = ref [] in
   let collect_diags net' =

@@ -258,8 +258,22 @@ let stats_zero net note applied =
     forward_moves = 0;
     simplified_cones = 0 }
 
-let resynthesize ?(options = default_options) ?(ins = Verify.no_instrument)
-    original =
+let m_applied = Obs.Metrics.counter "resynth.applied"
+let m_guarded = Obs.Metrics.counter "resynth.guarded"
+let m_skipped = Obs.Metrics.counter "resynth.skipped"
+let m_stem_splits = Obs.Metrics.counter "resynth.stem_splits"
+let m_classes = Obs.Metrics.counter "resynth.equivalence_classes"
+let m_forward_moves = Obs.Metrics.counter "resynth.forward_moves"
+let m_simplified = Obs.Metrics.counter "resynth.simplified_cones"
+let m_period_ratio = Obs.Metrics.histogram "resynth.period_ratio_pct"
+let m_register_ratio = Obs.Metrics.histogram "resynth.register_ratio_pct"
+let m_area_ratio = Obs.Metrics.histogram "resynth.area_ratio_pct"
+
+(* Per-pass spans share the checkpoint names, so a trace lines up with the
+   --verify-each / --eqcheck-each reports. *)
+let pass name f = Obs.Trace.span ~cat:"resynth" name f
+
+let resynthesize_impl ~options ~ins original =
   let model = options.model in
   let original_period = Sta.clock_period original model in
   let net = N.copy original in
@@ -272,8 +286,9 @@ let resynthesize ?(options = default_options) ?(ins = Verify.no_instrument)
   | [] -> stats_zero (N.copy original) "no combinational logic" false
   | _ :: _ ->
     let _, clones =
-      ins.Verify.audited "resynth/fanout-free" [] net (fun () ->
-          make_path_fanout_free_clones net path)
+      pass "resynth/fanout-free" (fun () ->
+          ins.Verify.audited "resynth/fanout-free" [] net (fun () ->
+              make_path_fanout_free_clones net path))
     in
     let path_ids =
       List.map (fun n -> n.N.id) path @ List.map (fun n -> n.N.id) clones
@@ -288,16 +303,17 @@ let resynthesize ?(options = default_options) ?(ins = Verify.no_instrument)
     let classes = Dontcare.Classes.create () in
     let class_ids () = Dontcare.Classes.classes classes in
     let stem_splits = ref 0 in
-    ins.Verify.audited "resynth/stem-split" [] net (fun () ->
-        List.iter
-          (fun l ->
-            let copies = Retiming.Moves.split_stem net l in
-            match copies with
-            | [] | [ _ ] -> ()
-            | _ :: _ :: _ ->
-              incr stem_splits;
-              Dontcare.Classes.declare_class classes copies)
-          critical_fanout_registers);
+    pass "resynth/stem-split" (fun () ->
+        ins.Verify.audited "resynth/stem-split" [] net (fun () ->
+            List.iter
+              (fun l ->
+                let copies = Retiming.Moves.split_stem net l in
+                match copies with
+                | [] | [ _ ] -> ()
+                | _ :: _ :: _ ->
+                  incr stem_splits;
+                  Dontcare.Classes.declare_class classes copies)
+              critical_fanout_registers));
     ins.Verify.checkpoint "resynth/stem-split" (class_ids ()) net;
     if !stem_splits = 0 then
       stats_zero (N.copy original)
@@ -305,8 +321,9 @@ let resynthesize ?(options = default_options) ?(ins = Verify.no_instrument)
     else begin
       (* retiming engine: forward retiming across path nodes to a fixpoint *)
       let forward_moves, new_latches =
-        ins.Verify.audited "resynth/forward-fixpoint" (class_ids ()) net
-          (fun () -> Retiming.Moves.forward_fixpoint net path_ids)
+        pass "resynth/forward-fixpoint" (fun () ->
+            ins.Verify.audited "resynth/forward-fixpoint" (class_ids ()) net
+              (fun () -> Retiming.Moves.forward_fixpoint net path_ids))
       in
       if forward_moves = 0 then
         stats_zero (N.copy original)
@@ -331,34 +348,39 @@ let resynthesize ?(options = default_options) ?(ins = Verify.no_instrument)
           | Some _ | None -> ()
         in
         (* newest latches first, as the engine loop historically recorded *)
-        ins.Verify.audited "resynth/dc-simplify" (class_ids ()) net (fun () ->
-            List.iter simplify_data_of_latch (List.rev new_latches);
-            List.iter simplify_data_of_latch (N.latches net);
-            List.iter
-              (fun (_, driver) ->
-                match N.node_opt net driver.N.id with
-                | Some d when N.is_logic d ->
-                  let rebuilt, useful =
-                    simplify_cone net classes ~dc_mode:options.dc_mode
-                      ~max_cone_leaves:options.max_cone_leaves d
-                  in
-                  if rebuilt && useful then incr simplified
-                | Some _ | None -> ())
-              (N.outputs net));
-        ins.Verify.audited "resynth/sweep" (class_ids ()) net (fun () ->
-            N.sweep net);
+        pass "resynth/dc-simplify" (fun () ->
+            ins.Verify.audited "resynth/dc-simplify" (class_ids ()) net
+              (fun () ->
+                List.iter simplify_data_of_latch (List.rev new_latches);
+                List.iter simplify_data_of_latch (N.latches net);
+                List.iter
+                  (fun (_, driver) ->
+                    match N.node_opt net driver.N.id with
+                    | Some d when N.is_logic d ->
+                      let rebuilt, useful =
+                        simplify_cone net classes ~dc_mode:options.dc_mode
+                          ~max_cone_leaves:options.max_cone_leaves d
+                      in
+                      if rebuilt && useful then incr simplified
+                    | Some _ | None -> ())
+                  (N.outputs net)));
+        pass "resynth/sweep" (fun () ->
+            ins.Verify.audited "resynth/sweep" (class_ids ()) net (fun () ->
+                N.sweep net));
         (* duplicated gates frequently become identical again after the
            simplification; share them *)
-        ins.Verify.audited "resynth/strash" (class_ids ()) net (fun () ->
-            ignore (Netlist.Strash.run net));
+        pass "resynth/strash" (fun () ->
+            ins.Verify.audited "resynth/strash" (class_ids ()) net (fun () ->
+                ignore (Netlist.Strash.run net)));
         (* local re-mapping.  The mapper builds a fresh network: the DC_ret
            class ids refer to the old one, so the retiming-soundness rule is
            dropped once the working copy is replaced ([classes_valid]). *)
         let net, classes_valid =
           if options.remap then begin
             let remapped =
-              Techmap.Mapper.map net ~lib:options.lib
-                ~objective:Techmap.Mapper.Min_delay
+              pass "resynth/remap" (fun () ->
+                  Techmap.Mapper.map net ~lib:options.lib
+                    ~objective:Techmap.Mapper.Min_delay)
             in
             ins.Verify.checkpoint "resynth/remap" [] remapped;
             (remapped, false)
@@ -376,7 +398,9 @@ let resynthesize ?(options = default_options) ?(ins = Verify.no_instrument)
               else None
             in
             match
-              Retiming.Minperiod.retime_min_period ?current_period net ~model
+              pass "resynth/post-retime" (fun () ->
+                  Retiming.Minperiod.retime_min_period ?current_period net
+                    ~model)
             with
             | Ok (better, _) ->
               ins.Verify.checkpoint "resynth/post-retime" [] better;
@@ -398,10 +422,12 @@ let resynthesize ?(options = default_options) ?(ins = Verify.no_instrument)
         if options.min_area_post then begin
           let min_area_classes = if classes_valid then class_ids () else [] in
           ignore
-            (ins.Verify.audited "resynth/min-area" min_area_classes net
-               (fun () ->
-                 Retiming.Minarea.minimize_registers ~classes:min_area_classes
-                   ~timer net ~model ~max_period:period_now))
+            (pass "resynth/min-area" (fun () ->
+                 ins.Verify.audited "resynth/min-area" min_area_classes net
+                   (fun () ->
+                     Retiming.Minarea.minimize_registers
+                       ~classes:min_area_classes ~timer net ~model
+                       ~max_period:period_now)))
         end;
         let final_period = Sta.Incremental.period timer in
         (* Accept only genuine gains: a faster clock, or the same clock with
@@ -437,3 +463,36 @@ let resynthesize ?(options = default_options) ?(ins = Verify.no_instrument)
             simplified_cones = !simplified }
       end
     end
+
+let resynthesize ?(options = default_options) ?(ins = Verify.no_instrument)
+    original =
+  let outcome =
+    Obs.Trace.span ~cat:"flow" "resynthesis" (fun () ->
+        resynthesize_impl ~options ~ins original)
+  in
+  if Obs.Metrics.enabled () then begin
+    if outcome.applied then begin
+      Obs.Metrics.incr m_applied;
+      Obs.Metrics.add m_stem_splits outcome.stem_splits;
+      Obs.Metrics.add m_classes outcome.equivalence_classes;
+      Obs.Metrics.add m_forward_moves outcome.forward_moves;
+      Obs.Metrics.add m_simplified outcome.simplified_cones;
+      let p0 = Sta.clock_period original options.model in
+      let p1 = Sta.clock_period outcome.network options.model in
+      if p0 > 0.0 then
+        Obs.Metrics.observe m_period_ratio
+          (int_of_float ((100.0 *. p1 /. p0) +. 0.5));
+      let r0 = N.num_latches original and r1 = N.num_latches outcome.network in
+      if r0 > 0 then
+        Obs.Metrics.observe m_register_ratio (((100 * r1) + (r0 / 2)) / r0);
+      let a0 = Techmap.Mapper.mapped_area original ~lib:options.lib in
+      let a1 = Techmap.Mapper.mapped_area outcome.network ~lib:options.lib in
+      if a0 > 0.0 then
+        Obs.Metrics.observe m_area_ratio
+          (int_of_float ((100.0 *. a1 /. a0) +. 0.5))
+    end
+    else if String.starts_with ~prefix:"guarded" outcome.note then
+      Obs.Metrics.incr m_guarded
+    else Obs.Metrics.incr m_skipped
+  end;
+  outcome

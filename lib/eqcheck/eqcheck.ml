@@ -19,6 +19,18 @@ let default_options =
     max_bdd_nodes = 200_000;
     sat_conflicts = 50_000 }
 
+(* Verdict tallies and cap-trip reasons, published to the process-wide
+   registry so a suite run can report where the checker gave up. *)
+let m_verdicts_proved = Obs.Metrics.counter "eqcheck.verdicts.proved"
+let m_verdicts_refuted = Obs.Metrics.counter "eqcheck.verdicts.refuted"
+let m_verdicts_unknown = Obs.Metrics.counter "eqcheck.verdicts.unknown"
+let m_cap_comb_leaves = Obs.Metrics.counter "eqcheck.cap.comb_leaves"
+let m_cap_product_bits = Obs.Metrics.counter "eqcheck.cap.product_bits"
+let m_cap_state_bits = Obs.Metrics.counter "eqcheck.cap.state_bits"
+let m_cap_bdd_nodes = Obs.Metrics.counter "eqcheck.cap.bdd_nodes"
+let m_cap_sat_conflicts = Obs.Metrics.counter "eqcheck.cap.sat_conflicts"
+let m_cone_rescued = Obs.Metrics.counter "eqcheck.seq.cone_rescued"
+
 type cex = {
   endpoint : string;
   leaves : (string * bool) list;
@@ -305,7 +317,9 @@ let comb_check_sat ~options ~pairs pre post =
   Sat_lite.add_clause solver (List.map (fun x -> x + 1) xor_vars);
   match Sat_lite.solve ~conflict_limit:options.sat_conflicts solver with
   | Sat_lite.Unsat -> `Proved
-  | Sat_lite.Unknown -> `Unknown "sat_lite conflict budget exhausted"
+  | Sat_lite.Unknown ->
+    Obs.Metrics.incr m_cap_sat_conflicts;
+    `Unknown "sat_lite conflict budget exhausted"
   | Sat_lite.Sat model ->
     let assign name =
       match Hashtbl.find_opt leaf_vars name with
@@ -320,10 +334,12 @@ let comb_check ?(options = default_options) ?(classes = []) pre post =
   else begin
     let leaves = Sim.Equiv.leaf_names pre in
     let pairs = class_name_pairs [ pre; post ] classes in
-    if List.length leaves > options.max_comb_leaves then
+    if List.length leaves > options.max_comb_leaves then begin
+      Obs.Metrics.incr m_cap_comb_leaves;
       Unknown
         (Printf.sprintf "leaf cap: %d leaves > %d" (List.length leaves)
            options.max_comb_leaves)
+    end
     else begin
       let finish = function
         | `Proved -> Proved
@@ -332,11 +348,35 @@ let comb_check ?(options = default_options) ?(classes = []) pre post =
       in
       match comb_check_bdd ~options ~pairs pre post leaves with
       | r -> finish r
-      | exception Budget _ -> finish (comb_check_sat ~options ~pairs pre post)
+      | exception Budget _ ->
+        Obs.Metrics.incr m_cap_bdd_nodes;
+        finish (comb_check_sat ~options ~pairs pre post)
     end
   end
 
 (* --- sequential equivalence with counterexample traces ------------------------ *)
+
+(* Latches that can influence some primary output: the transitive fanin of the
+   output drivers, crossing latches through their data pins (fixpoint).  A
+   latch outside this set never reaches an output in any number of cycles, so
+   the product machine can drop it without changing the verdict. *)
+let observable_latch_ids net =
+  let seen = Hashtbl.create 256 in
+  let obs = Hashtbl.create 64 in
+  let rec walk id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      let n = N.node net id in
+      match n.N.kind with
+      | N.Input | N.Const _ -> ()
+      | N.Logic _ -> Array.iter walk n.N.fanins
+      | N.Latch _ ->
+        Hashtbl.replace obs n.N.id ();
+        walk (N.latch_data net n).N.id
+    end
+  in
+  List.iter (fun (_, n) -> walk n.N.id) (N.outputs net);
+  obs
 
 (* Variable layout (as [Sim.Equiv.seq_equal_bdd]): shared primary inputs by
    sorted name, then present state of [pre], then of [post]; next-state
@@ -353,13 +393,31 @@ let seq_check ?(options = default_options) pre post =
   else if po_names pre <> po_names post then
     Unknown "primary-output name mismatch"
   else begin
-    let latches_a = N.latches pre and latches_b = N.latches post in
+    let all_latches_a = N.latches pre and all_latches_b = N.latches post in
+    (* shrink the product machine to output-observable registers before the
+       state-bit cap; latches outside every output cone cannot change the
+       verdict, and dropping them rescues checks the full register count
+       would push past the cap *)
+    let obs_a = observable_latch_ids pre
+    and obs_b = observable_latch_ids post in
+    let latches_a =
+      List.filter (fun l -> Hashtbl.mem obs_a l.N.id) all_latches_a
+    and latches_b =
+      List.filter (fun l -> Hashtbl.mem obs_b l.N.id) all_latches_b
+    in
     let n1 = List.length latches_a and n2 = List.length latches_b in
-    if n1 + n2 > options.max_product_bits then
+    let full_bits =
+      List.length all_latches_a + List.length all_latches_b
+    in
+    if n1 + n2 > options.max_product_bits then begin
+      Obs.Metrics.incr m_cap_product_bits;
       Unknown
         (Printf.sprintf "state-bit cap: %d product bits > %d" (n1 + n2)
            options.max_product_bits)
+    end
     else begin
+      if full_bits > options.max_product_bits then
+        Obs.Metrics.incr m_cone_rescued;
       try
         let npi = List.length pi_names in
         let man = Bdd.create () in
@@ -377,7 +435,21 @@ let seq_check ?(options = default_options) pre post =
           (fun j l -> Hashtbl.add ps_var_b l.N.id (npi + n1 + j))
           latches_b;
         let ns_base = npi + n1 + n2 in
-        let build net ps_var =
+        let build net ps_var latches =
+          (* combinational nodes feeding an output or a relevant next-state
+             function; cones of dropped latches are never built (their latch
+             leaves have no product variable anyway) *)
+          let need = Hashtbl.create 256 in
+          let rec mark id =
+            if not (Hashtbl.mem need id) then begin
+              Hashtbl.replace need id ();
+              match (N.node net id).N.kind with
+              | N.Logic _ -> Array.iter mark (N.node net id).N.fanins
+              | N.Input | N.Const _ | N.Latch _ -> ()
+            end
+          in
+          List.iter (fun (_, n) -> mark n.N.id) (N.outputs net);
+          List.iter (fun l -> mark (N.latch_data net l).N.id) latches;
           let values = Hashtbl.create 256 in
           List.iter
             (fun n ->
@@ -388,7 +460,7 @@ let seq_check ?(options = default_options) pre post =
             (fun l ->
               Hashtbl.add values l.N.id
                 (Bdd.var man (Hashtbl.find ps_var l.N.id)))
-            (N.latches net);
+            latches;
           List.iter
             (fun n ->
               match n.N.kind with
@@ -398,34 +470,36 @@ let seq_check ?(options = default_options) pre post =
             (N.all_nodes net);
           List.iter
             (fun n ->
-              let fanins =
-                Array.map (fun f -> Hashtbl.find values f) n.N.fanins
-              in
-              let cover = N.cover_of n in
-              let cube_bdd cube =
-                let acc = ref Bdd.btrue in
-                Logic.Cube.iteri
-                  (fun i l ->
-                    match l with
-                    | Logic.Cube.One -> acc := Bdd.band man !acc fanins.(i)
-                    | Logic.Cube.Zero ->
-                      acc := Bdd.band man !acc (Bdd.bnot man fanins.(i))
-                    | Logic.Cube.Both -> ())
-                  cube;
-                !acc
-              in
-              let v =
-                List.fold_left
-                  (fun acc c -> Bdd.bor man acc (cube_bdd c))
-                  Bdd.bfalse cover.Logic.Cover.cubes
-              in
-              Hashtbl.add values n.N.id v;
-              budget ())
+              if Hashtbl.mem need n.N.id then begin
+                let fanins =
+                  Array.map (fun f -> Hashtbl.find values f) n.N.fanins
+                in
+                let cover = N.cover_of n in
+                let cube_bdd cube =
+                  let acc = ref Bdd.btrue in
+                  Logic.Cube.iteri
+                    (fun i l ->
+                      match l with
+                      | Logic.Cube.One -> acc := Bdd.band man !acc fanins.(i)
+                      | Logic.Cube.Zero ->
+                        acc := Bdd.band man !acc (Bdd.bnot man fanins.(i))
+                      | Logic.Cube.Both -> ())
+                    cube;
+                  !acc
+                in
+                let v =
+                  List.fold_left
+                    (fun acc c -> Bdd.bor man acc (cube_bdd c))
+                    Bdd.bfalse cover.Logic.Cover.cubes
+                in
+                Hashtbl.add values n.N.id v;
+                budget ()
+              end)
             (N.topo_combinational net);
           values
         in
-        let values_a = build pre ps_var_a in
-        let values_b = build post ps_var_b in
+        let values_a = build pre ps_var_a latches_a in
+        let values_b = build post ps_var_b latches_b in
         let transition = ref Bdd.btrue in
         let add_latch values ps_var l net =
           let ns_var = ns_base + Hashtbl.find ps_var l.N.id - npi in
@@ -525,23 +599,26 @@ let seq_check ?(options = default_options) pre post =
             | Some (name, _) -> name
             | None -> "(none)"
           in
+          (* replay states are total over ALL latches: registers dropped from
+             the product machine cannot influence outputs, so their declared
+             initial value (Ix resolved to 0) is as good as any *)
+          let init_value_of l ps_var =
+            match Hashtbl.find_opt ps_var l.N.id with
+            | Some v -> value_in s_0 v
+            | None ->
+              (match N.latch_init l with N.I1 -> true | N.I0 | N.Ix -> false)
+          in
           let state_of latches ps_var =
-            List.map
-              (fun l ->
-                (l.N.id, value_in s_0 (Hashtbl.find ps_var l.N.id)))
-              latches
+            List.map (fun l -> (l.N.id, init_value_of l ps_var)) latches
           in
           let named_init latches ps_var =
-            List.map
-              (fun l ->
-                (l.N.name, value_in s_0 (Hashtbl.find ps_var l.N.id)))
-              latches
+            List.map (fun l -> (l.N.name, init_value_of l ps_var)) latches
           in
           (* simulation confirmation (the cex-quality contract): replay the
              trace on both netlists from the extracted initial states and
              demand an actual output divergence *)
-          let sa = ref (state_of latches_a ps_var_a) in
-          let sb = ref (state_of latches_b ps_var_b) in
+          let sa = ref (state_of all_latches_a ps_var_a) in
+          let sb = ref (state_of all_latches_b ps_var_b) in
           let confirmed = ref None in
           List.iter
             (fun vector ->
@@ -565,8 +642,8 @@ let seq_check ?(options = default_options) pre post =
              Refuted
                { endpoint = name;
                  leaves = pi_vector w;
-                 init_pre = named_init latches_a ps_var_a;
-                 init_post = named_init latches_b ps_var_b;
+                 init_pre = named_init all_latches_a ps_var_a;
+                 init_post = named_init all_latches_b ps_var_b;
                  trace;
                  sim_confirmed = true }
            | None ->
@@ -577,7 +654,9 @@ let seq_check ?(options = default_options) pre post =
                   "unconfirmed counterexample for %s (replay of %d cycle(s) \
                    did not diverge)"
                   endpoint (List.length trace)))
-      with Budget msg -> Unknown msg
+      with Budget msg ->
+        Obs.Metrics.incr m_cap_bdd_nodes;
+        Unknown msg
     end
   end
 
@@ -604,10 +683,12 @@ let dcret_check ?(options = default_options) net classes =
   else begin
     let latches = N.latches net in
     let nl = List.length latches in
-    if nl > options.max_state_bits then
+    if nl > options.max_state_bits then begin
+      Obs.Metrics.incr m_cap_state_bits;
       Unknown
         (Printf.sprintf "state-bit cap: %d latches > %d" nl
            options.max_state_bits)
+    end
     else begin
       try
         let pis = N.inputs net in
@@ -818,7 +899,9 @@ let dcret_check ?(options = default_options) net classes =
                  "unconfirmed class violation %s (replay of %d cycle(s) did \
                   not diverge)"
                  endpoint (List.length trace))
-      with Budget msg -> Unknown msg
+      with Budget msg ->
+        Obs.Metrics.incr m_cap_bdd_nodes;
+        Unknown msg
     end
   end
 
@@ -860,7 +943,16 @@ let check_pass ?(options = default_options) ~label ~pass ~classes pre post =
       [ { label; pass; rule = "dcret-invariant"; verdict = v; seconds = secs } ]
     end
   in
-  eq_record :: dcret_records
+  let records = eq_record :: dcret_records in
+  List.iter
+    (fun r ->
+      Obs.Metrics.incr
+        (match r.verdict with
+         | Proved -> m_verdicts_proved
+         | Refuted _ -> m_verdicts_refuted
+         | Unknown _ -> m_verdicts_unknown))
+    records;
+  records
 
 (* --- flow instrumentation ------------------------------------------------------ *)
 

@@ -1,0 +1,25 @@
+(** Exporters over the ambient {!Trace} and {!Metrics} state.
+
+    Three formats:
+    - {!text_summary}: human-readable metric values plus a per-span-name
+      rollup (calls / total time / allocation);
+    - {!metrics_json} and {!spans_json}: machine-readable JSON;
+    - {!chrome_json}: the Chrome [trace_event] format (JSON object with a
+      [traceEvents] array of complete ["X"] events plus thread-name
+      metadata), loadable in [chrome://tracing] and Perfetto.  Each worker
+      domain renders as its own track. *)
+
+val text_summary : unit -> string
+
+val metrics_json : ?prefix:string -> unit -> string
+(** The registry as one JSON object; [prefix] restricts to instruments whose
+    name starts with it. *)
+
+val spans_json : unit -> string
+(** Recorded spans as a JSON array (native format: track, depth, start_ns,
+    dur_ns, GC words, args). *)
+
+val chrome_json : unit -> string
+
+val write_file : string -> string -> unit
+(** [write_file path contents] with a trailing newline. *)

@@ -1,0 +1,114 @@
+type attr =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type span = {
+  name : string;
+  cat : string;
+  track : int;
+  depth : int;
+  start_ns : int64;
+  dur_ns : int64;
+  minor_words : float;
+  major_words : float;
+  args : (string * attr) list;
+}
+
+(* One atomic load on the disabled fast path; flipped only at startup or
+   around an export, never per event. *)
+let on = Atomic.make false
+
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+let clock_override : (unit -> int64) option Atomic.t = Atomic.make None
+
+let set_clock f = Atomic.set clock_override f
+
+(* gettimeofday-based: the stdlib exposes no monotonic clock, so negative
+   steps (NTP slew) are clamped per span instead. *)
+let now_ns () =
+  match Atomic.get clock_override with
+  | Some f -> f ()
+  | None -> Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let lock = Mutex.create ()
+let recorded : span list ref = ref []
+
+let record s =
+  Mutex.lock lock;
+  recorded := s :: !recorded;
+  Mutex.unlock lock
+
+let reset () =
+  Mutex.lock lock;
+  recorded := [];
+  Mutex.unlock lock
+
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let depth () = !(Domain.DLS.get depth_key)
+
+let finish_span ~name ~cat ~args ~my_depth ~t0 ~g0 =
+  let t1 = now_ns () in
+  let g1 = Gc.quick_stat () in
+  record
+    { name;
+      cat;
+      track = (Domain.self () :> int);
+      depth = my_depth;
+      start_ns = t0;
+      dur_ns = (let d = Int64.sub t1 t0 in if Int64.compare d 0L < 0 then 0L else d);
+      minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+      major_words = g1.Gc.major_words -. g0.Gc.major_words;
+      args }
+
+let span ?(cat = "span") ?(args = []) name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let d = Domain.DLS.get depth_key in
+    let my_depth = !d in
+    d := my_depth + 1;
+    let g0 = Gc.quick_stat () in
+    let t0 = now_ns () in
+    match f () with
+    | v ->
+      d := my_depth;
+      finish_span ~name ~cat ~args ~my_depth ~t0 ~g0;
+      v
+    | exception e ->
+      d := my_depth;
+      finish_span ~name ~cat ~args ~my_depth ~t0 ~g0;
+      raise e
+  end
+
+let instant ?(cat = "mark") ?(args = []) name =
+  if Atomic.get on then begin
+    let t0 = now_ns () in
+    record
+      { name;
+        cat;
+        track = (Domain.self () :> int);
+        depth = depth ();
+        start_ns = t0;
+        dur_ns = 0L;
+        minor_words = 0.0;
+        major_words = 0.0;
+        args }
+  end
+
+let spans () =
+  Mutex.lock lock;
+  let all = !recorded in
+  Mutex.unlock lock;
+  List.sort
+    (fun a b ->
+      let c = compare a.track b.track in
+      if c <> 0 then c
+      else
+        let c = Int64.compare a.start_ns b.start_ns in
+        if c <> 0 then c else compare a.depth b.depth)
+    all

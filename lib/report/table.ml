@@ -104,9 +104,13 @@ let run_suite ?(verify = true) ?(verify_each = false) ?(eqcheck_each = false)
   in
   Core.Parallel.map_list ~jobs
     (fun e ->
-      let net = e.Circuits.Suite.build () in
-      Core.Flow.run_all ~verify ~verify_each ~eqcheck_each ?eqcheck_options
-        ?resynth_options ~name:e.Circuits.Suite.name net)
+      Obs.Trace.span ~cat:"suite"
+        ~args:[ ("circuit", Obs.Trace.Str e.Circuits.Suite.name) ]
+        ("row/" ^ e.Circuits.Suite.name)
+        (fun () ->
+          let net = e.Circuits.Suite.build () in
+          Core.Flow.run_all ~verify ~verify_each ~eqcheck_each ?eqcheck_options
+            ?resynth_options ~name:e.Circuits.Suite.name net))
     entries
 
 let eqcheck_records rows = List.concat_map (fun r -> r.Core.Flow.eqcheck) rows

@@ -75,6 +75,11 @@ let backward_profit net v =
     outs - ins
   end
 
+let m_merged = Obs.Metrics.counter "minarea.latches_merged"
+let m_moves_accepted = Obs.Metrics.counter "minarea.moves_accepted"
+let m_moves_rejected = Obs.Metrics.counter "minarea.moves_rejected"
+let m_eliminated = Obs.Metrics.counter "minarea.latches_eliminated"
+
 let minimize_registers ?(classes = []) ?timer net ~model ~max_period =
   (* Every candidate move pays a period check; an incremental timer makes an
      accepted move cost only its affected cone.  A rejected move reverts via
@@ -91,6 +96,7 @@ let minimize_registers ?(classes = []) ?timer net ~model ~max_period =
     improved := false;
     let merges = merge_all_siblings ~classes net in
     if merges > 0 then begin
+      Obs.Metrics.add m_merged merges;
       eliminated := !eliminated + merges;
       improved := true
     end;
@@ -116,10 +122,12 @@ let minimize_registers ?(classes = []) ?timer net ~model ~max_period =
             in
             let gained = latches_before - N.num_latches net in
             if period_ok && gained > 0 then begin
+              Obs.Metrics.incr m_moves_accepted;
               eliminated := !eliminated + gained;
               improved := true
             end
             else begin
+              Obs.Metrics.incr m_moves_rejected;
               (* revert: restore from the snapshot *)
               N.restore net before
             end
@@ -128,4 +136,5 @@ let minimize_registers ?(classes = []) ?timer net ~model ~max_period =
     List.iter try_move (N.logic_nodes net)
   done;
   Verify.debug_check ~label:"Minarea.minimize_registers" net;
+  Obs.Metrics.add m_eliminated !eliminated;
   !eliminated

@@ -96,6 +96,15 @@ let slack net model ~required =
 (* --- incremental timer ------------------------------------------------------- *)
 
 module Incremental = struct
+  (* Published into the process-wide registry in addition to the per-handle
+     [stats], so a suite run attributes timing-engine work without anyone
+     threading handles around. *)
+  let m_full_syncs = Obs.Metrics.counter "sta.syncs.full"
+  let m_incr_syncs = Obs.Metrics.counter "sta.syncs.incremental"
+  let m_requeries = Obs.Metrics.counter "sta.requeries"
+  let m_dirty_seeds = Obs.Metrics.histogram "sta.dirty_seeds"
+  let m_dirty_cone = Obs.Metrics.histogram "sta.dirty_cone_nodes"
+
   type stats = {
     full_syncs : int;
     incremental_syncs : int;
@@ -187,7 +196,8 @@ module Incremental = struct
         t.arrival.(n.N.id) <- worst +. t.model n)
       (N.topo_combinational t.net);
     recompute_endpoints t;
-    t.full_syncs <- t.full_syncs + 1
+    t.full_syncs <- t.full_syncs + 1;
+    Obs.Metrics.incr m_full_syncs
 
   let ensure_capacity t =
     let cap = N.capacity t.net in
@@ -273,12 +283,19 @@ module Incremental = struct
               t.ep_stale <- true
             end)
         dirty;
+      let recomputed_before = t.nodes_recomputed in
       forward_update t dirty;
       recompute_endpoints t;
       (* [required] is patched lazily from the backlog at the next slack
          query; it stays valid in the meantime *)
       t.backlog <- List.rev_append dirty t.backlog;
-      t.incremental_syncs <- t.incremental_syncs + 1
+      t.incremental_syncs <- t.incremental_syncs + 1;
+      if Obs.Metrics.enabled () then begin
+        Obs.Metrics.incr m_incr_syncs;
+        Obs.Metrics.observe m_dirty_seeds (List.length dirty);
+        Obs.Metrics.observe m_dirty_cone
+          (t.nodes_recomputed - recomputed_before)
+      end
 
   let create net model =
     let t =
@@ -307,6 +324,7 @@ module Incremental = struct
   let refresh t = sync t
 
   let period t =
+    Obs.Metrics.incr m_requeries;
     sync t;
     t.period
 

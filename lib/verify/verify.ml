@@ -405,7 +405,31 @@ let check_bindings net out =
 
 (* --- driver ------------------------------------------------------------------ *)
 
+let m_runs = Obs.Metrics.counter "verify.runs"
+
+(* One counter per rule group ("graph/..." -> verify.fired.graph); the journal
+   group comes from Audit.diff rather than [run]. *)
+let fired_counters =
+  List.map
+    (fun g -> (g, Obs.Metrics.counter ("verify.fired." ^ g)))
+    [ "graph"; "loop"; "retiming"; "binding"; "journal" ]
+
+let record_fired diags =
+  if Obs.Metrics.enabled () then
+    List.iter
+      (fun d ->
+        let group =
+          match String.index_opt d.rule_id '/' with
+          | Some i -> String.sub d.rule_id 0 i
+          | None -> d.rule_id
+        in
+        match List.assoc_opt group fired_counters with
+        | Some c -> Obs.Metrics.incr c
+        | None -> ())
+      diags
+
 let run ?(rules = all_rules) ?(equiv_classes = []) net =
+  Obs.Metrics.incr m_runs;
   let out = ref [] in
   let want r = List.mem r rules in
   if want Graph then check_graph net out;
@@ -413,6 +437,7 @@ let run ?(rules = all_rules) ?(equiv_classes = []) net =
   if want Retiming && equiv_classes <> [] then
     check_retiming net equiv_classes out;
   if want Binding then check_bindings net out;
+  record_fired !out;
   let severity_rank = function Error -> 0 | Warning -> 1 in
   List.stable_sort
     (fun a b ->
@@ -526,7 +551,9 @@ module Audit = struct
           diag "journal/outputs" []
             "primary-output list changed without an outputs_revision bump"
           :: !out;
-      List.rev !out
+      let diags = List.rev !out in
+      record_fired diags;
+      diags
 end
 
 let audited ?rules ?equiv_classes ~label ~pass net f =
