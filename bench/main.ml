@@ -465,14 +465,20 @@ let logic_bench ?(emit_json = true) ?(quick = false) () =
 
 (* --- 3e. Serial vs domain-parallel Table I ------------------------------------------- *)
 
-let suite_bench ?(emit_json = true) ?(verify = true) ?names ?(jobs = 4) () =
+let suite_bench ?(emit_json = true) ?(verify = true) ?(eqcheck_each = false)
+    ?names ?(jobs = 4) () =
   section
-    (Printf.sprintf "Table I suite: serial vs %d-domain parallel run" jobs);
+    (Printf.sprintf "Table I suite: serial vs %d-domain parallel run%s" jobs
+       (if eqcheck_each then " (--eqcheck-each)" else ""));
   let run jobs =
     let t0 = Unix.gettimeofday () in
-    let rows = Report.Table.run_suite ~verify ?names ~jobs () in
+    let rows = Report.Table.run_suite ~verify ~eqcheck_each ?names ~jobs () in
     let dt = Unix.gettimeofday () -. t0 in
-    (Report.Table.render rows ^ Report.Table.summary rows, dt)
+    let out =
+      Report.Table.render rows ^ Report.Table.summary rows
+      ^ (if eqcheck_each then Report.Table.eqcheck_summary rows else "")
+    in
+    (out, dt)
   in
   let serial_out, serial_s = run 1 in
   let parallel_out, parallel_s = run jobs in
@@ -493,21 +499,139 @@ let suite_bench ?(emit_json = true) ?(verify = true) ?names ?(jobs = 4) () =
      (output byte-identical)\n"
     rows verify serial_s jobs parallel_s speedup;
   Printf.printf "  available cores (recommended_domain_count): %d\n"
-    (Domain.recommended_domain_count ());
+    (Core.Parallel.cores ());
+  if Core.Parallel.oversubscribed ~jobs then
+    Printf.printf
+      "  warning: %d jobs > %d cores — the parallel phase measures domain \
+       scheduling overhead, not scaling\n"
+      jobs (Core.Parallel.cores ());
   if emit_json then
     emit_bench ~file:"BENCH_suite.json" ~prefix:"bench.suite"
       ~title:"Table I suite, serial vs domain-parallel" ~unit:"s_per_run"
       [ ("rows", float_of_int rows);
         ("verify", if verify then 1.0 else 0.0);
+        ("eqcheck_each", if eqcheck_each then 1.0 else 0.0);
         ("jobs", float_of_int jobs);
-        ("cores", float_of_int (Domain.recommended_domain_count ()));
+        ("cores", float_of_int (Core.Parallel.cores ()));
+        ("jobs_exceed_cores",
+         if Core.Parallel.oversubscribed ~jobs then 1.0 else 0.0);
         ("serial_s", serial_s);
         ("parallel_s", parallel_s);
         ("speedup", speedup);
         ("byte_identical", 1.0) ];
   speedup
 
-(* --- 3f. Verifier overhead ----------------------------------------------------------- *)
+(* --- 3f. Shared BDD manager ---------------------------------------------------------- *)
+
+(* The domain-shared unique table dedups nodes across suite rows and eqcheck
+   boundary checks: the same cone functions are rebuilt many times over a
+   flow, and in shared mode every rebuild lands on the already-interned
+   nodes.  Three phases over the same --eqcheck-each suite workload:
+     A. shared table, serial          (the default configuration)
+     B. shared table, [jobs] domains  (byte-identical output required)
+     C. private per-scope tables, serial — the pre-shared-table architecture,
+        via [Bdd.set_default_mode `Private] (byte-identical output required)
+   The headline metric is the C/A node-allocation ratio: 1.5x means the
+   shared table absorbs a third of all BDD node constructions. *)
+let bdd_bench ?(emit_json = true) ?(quick = false) ?(jobs = 4) () =
+  section
+    "Shared BDD manager: node dedup + parallel determinism (--eqcheck-each)";
+  let names =
+    if quick then Some [ "s27"; "s208"; "s298"; "s344"; "s382"; "s400" ]
+    else None
+  in
+  let render rows =
+    Report.Table.render rows ^ Report.Table.summary rows
+    ^ Report.Table.eqcheck_summary rows
+  in
+  let run jobs =
+    let nodes0 = Bdd.total_allocated () in
+    let bytes0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    let rows =
+      Report.Table.run_suite ~verify:false ~eqcheck_each:true ?names ~jobs ()
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let bytes = Gc.allocated_bytes () -. bytes0 in
+    let nodes = Bdd.total_allocated () - nodes0 in
+    (render rows, rows, dt, nodes, bytes)
+  in
+  let rows_n =
+    match names with
+    | Some ns -> List.length ns
+    | None -> List.length Circuits.Suite.entries
+  in
+  let out_a, rows_a, a_s, a_nodes, a_bytes = run 1 in
+  let proved, refuted, unknown =
+    Eqcheck.counts (Report.Table.eqcheck_records rows_a)
+  in
+  if refuted > 0 then begin
+    Printf.eprintf "bdd bench: %d Refuted pass verdicts on a real flow\n"
+      refuted;
+    exit 1
+  end;
+  if Core.Parallel.oversubscribed ~jobs then
+    Printf.printf
+      "  warning: %d jobs > %d cores — parallel phase measures scheduling, \
+       not scaling\n"
+      jobs (Core.Parallel.cores ());
+  let out_b, _, b_s, _, _ = run jobs in
+  if not (String.equal out_a out_b) then begin
+    Printf.eprintf
+      "bdd bench: --jobs 1 and --jobs %d outputs DIFFER — determinism bug\n"
+      jobs;
+    exit 1
+  end;
+  Bdd.set_default_mode `Private;
+  let out_c, _, c_s, c_nodes, c_bytes = run 1 in
+  Bdd.set_default_mode `Shared;
+  if not (String.equal out_a out_c) then begin
+    Printf.eprintf
+      "bdd bench: shared and private tables produce DIFFERENT output — \
+       scope accounting bug\n";
+    exit 1
+  end;
+  let node_ratio = float_of_int c_nodes /. float_of_int (max 1 a_nodes) in
+  let word_ratio = c_bytes /. Float.max 1.0 a_bytes in
+  Printf.printf
+    "  %d rows, eqcheck-each, verdicts %d proved / %d refuted / %d unknown \
+     (all three phases byte-identical)\n"
+    rows_n proved refuted unknown;
+  Printf.printf
+    "  A shared serial:   %5.1fs  %9d nodes  %7.1f Mwords heap\n" a_s a_nodes
+    (a_bytes /. 8e6);
+  Printf.printf "  B shared %d jobs:   %5.1fs\n" jobs b_s;
+  Printf.printf
+    "  C private serial:  %5.1fs  %9d nodes  %7.1f Mwords heap\n" c_s c_nodes
+    (c_bytes /. 8e6);
+  Printf.printf
+    "  dedup: %.2fx fewer BDD nodes allocated, %.2fx fewer heap words \
+     (target >= 1.5x nodes)\n"
+    node_ratio word_ratio;
+  if emit_json then
+    emit_bench ~file:"BENCH_bdd.json" ~prefix:"bench.bdd"
+      ~title:"shared vs private BDD tables on the --eqcheck-each suite"
+      ~unit:"nodes_per_run"
+      [ ("rows", float_of_int rows_n);
+        ("jobs", float_of_int jobs);
+        ("cores", float_of_int (Core.Parallel.cores ()));
+        ("jobs_exceed_cores", if Core.Parallel.oversubscribed ~jobs then 1.0 else 0.0);
+        ("shared_serial_s", a_s);
+        ("shared_parallel_s", b_s);
+        ("private_serial_s", c_s);
+        ("shared_nodes", float_of_int a_nodes);
+        ("private_nodes", float_of_int c_nodes);
+        ("node_dedup_ratio", node_ratio);
+        ("shared_heap_mwords", a_bytes /. 8e6);
+        ("private_heap_mwords", c_bytes /. 8e6);
+        ("heap_word_ratio", word_ratio);
+        ("proved", float_of_int proved);
+        ("refuted", float_of_int refuted);
+        ("unknown", float_of_int unknown);
+        ("byte_identical", 1.0) ];
+  node_ratio
+
+(* --- 3g. Verifier overhead ----------------------------------------------------------- *)
 
 (* Cost of --verify-each: the same suite subset with the checker off and on.
    Sequential-equivalence verification is disabled in both runs so the delta
@@ -757,6 +881,8 @@ let () =
   let suite_only = List.mem "--suite" args in
   let verifier_only = List.mem "--verifier" args in
   let eqcheck_only = List.mem "--eqcheck" args in
+  let bdd_only = List.mem "--bdd" args in
+  let eqcheck_each = List.mem "--eqcheck-each" args in
   let quick = List.mem "--quick" args in
   (* value of a "--flag v" pair, if present *)
   let arg_value flag =
@@ -786,8 +912,10 @@ let () =
       exit 2
   in
   let metrics = List.mem "--metrics" args in
+  let metrics_json = arg_value "--metrics-json" in
   if trace <> None then Obs.Trace.enable ();
-  if metrics || trace <> None then Obs.Metrics.enable ();
+  if metrics || metrics_json <> None || trace <> None then
+    Obs.Metrics.enable ();
   Printf.printf
     "Retiming-induced state register equivalence: evaluation harness%s\n"
     (if smoke then " (smoke)"
@@ -796,14 +924,16 @@ let () =
      else if suite_only then " (suite)"
      else if verifier_only then " (verifier)"
      else if eqcheck_only then " (eqcheck)"
+     else if bdd_only then " (bdd)"
      else "");
   if sta_only then
     ignore (sta_bench ~circuits:[ "s641"; "s1196"; "s1238"; "s5378" ] ())
   else if logic_only then ignore (logic_bench ~quick ())
   else if suite_only then
-    ignore (suite_bench ~verify:(not quick) ?names ~jobs ())
+    ignore (suite_bench ~verify:(not quick) ~eqcheck_each ?names ~jobs ())
   else if verifier_only then ignore (verifier_bench ?names ())
   else if eqcheck_only then ignore (eqcheck_bench ?names ())
+  else if bdd_only then ignore (bdd_bench ~quick ~jobs ())
   else if smoke then begin
     (* CI-sized pass: the Section III example end to end plus the STA
        comparison on a small circuit; no JSON, no Bechamel quotas *)
@@ -822,6 +952,7 @@ let () =
     ignore (suite_bench ~jobs ());
     ignore (verifier_bench ());
     ignore (eqcheck_bench ());
+    ignore (bdd_bench ~jobs ());
     bechamel_kernels ();
     Printf.printf "\ndone.\n"
   end;
@@ -837,4 +968,13 @@ let () =
        (List.length (Obs.Trace.spans ()))
        file
    | None -> ());
-  if metrics then print_string (Obs.Export.text_summary ())
+  (match metrics_json with
+   | Some file ->
+     Bdd.publish_stats ();
+     Obs.Export.write_file file (Obs.Export.metrics_json ());
+     Printf.printf "metrics: written to %s\n" file
+   | None -> ());
+  if metrics then begin
+    Bdd.publish_stats ();
+    print_string (Obs.Export.text_summary ())
+  end

@@ -3,6 +3,7 @@
    Usage: table1 [--jobs N] [--names a,b,c] [--no-verify] [--verify-each]
                  [--verify-json FILE] [--eqcheck-each] [--eqcheck-json FILE]
                  [--trace FILE] [--trace-format chrome|json] [--metrics]
+                 [--metrics-json FILE]
 
    --jobs N        run N suite rows in parallel domains (default 1; 0 = one
                    per recommended core).  Output is byte-identical for every
@@ -23,7 +24,9 @@
                    trace_event JSON, one track per worker domain) or json
                    (the native span array)
    --metrics       enable the metrics registry and print a text summary of
-                   counters, gauges and histograms after the table *)
+                   counters, gauges and histograms after the table
+   --metrics-json  enable the metrics registry and write the full registry
+                   (including bdd.* shared-table gauges) as JSON to FILE *)
 
 let () =
   let jobs = ref 1 in
@@ -36,6 +39,7 @@ let () =
   let trace = ref None in
   let trace_format = ref `Chrome in
   let metrics = ref false in
+  let metrics_json = ref None in
   let rec parse = function
     | [] -> ()
     | "--jobs" :: n :: rest ->
@@ -77,13 +81,16 @@ let () =
     | "--metrics" :: rest ->
       metrics := true;
       parse rest
+    | "--metrics-json" :: file :: rest ->
+      metrics_json := Some file;
+      parse rest
     | arg :: _ ->
       Printf.eprintf
         "table1: unknown argument %s\n\
          usage: table1 [--jobs N] [--names a,b,c] [--no-verify] \
          [--verify-each] [--verify-json FILE] [--eqcheck-each] \
          [--eqcheck-json FILE] [--trace FILE] [--trace-format chrome|json] \
-         [--metrics]\n"
+         [--metrics] [--metrics-json FILE]\n"
         arg;
       exit 2
   in
@@ -101,7 +108,8 @@ let () =
    | None -> ());
   let jobs = if !jobs = 0 then Core.Parallel.default_jobs () else !jobs in
   if !trace <> None then Obs.Trace.enable ();
-  if !metrics || !trace <> None then Obs.Metrics.enable ();
+  if !metrics || !metrics_json <> None || !trace <> None then
+    Obs.Metrics.enable ();
   let t0 = Unix.gettimeofday () in
   let rows =
     try
@@ -160,7 +168,16 @@ let () =
        (List.length (Obs.Trace.spans ()))
        file
    | None -> ());
-  if !metrics then print_string (Obs.Export.text_summary ());
+  (match !metrics_json with
+   | Some file ->
+     Bdd.publish_stats ();
+     Obs.Export.write_file file (Obs.Export.metrics_json ());
+     Printf.printf "metrics: written to %s\n" file
+   | None -> ());
+  if !metrics then begin
+    Bdd.publish_stats ();
+    print_string (Obs.Export.text_summary ())
+  end;
   Printf.printf "regenerated in %.1fs (%d jobs)\n"
     (Unix.gettimeofday () -. t0)
     jobs;

@@ -5,11 +5,19 @@
    item position: the caller observes the same ordering as a serial
    [Array.map], whatever the interleaving was.  Each worker runs the supplied
    function with no shared mutable state beyond the claim counter — callers
-   must hand out per-item state (networks, BDD managers, [Random.State])
-   inside [f] itself, which every suite builder already does by seeding from
-   the item. *)
+   must hand out per-item state (networks, BDD scopes, [Random.State]) inside
+   [f] itself, which every suite builder already does by seeding from the
+   item.  BDD nodes themselves live in the process-wide shared table
+   ([lib/bdd]), so domains dedup structure automatically while their scopes
+   keep per-item accounting independent. *)
 
-let default_jobs () = max 1 (Domain.recommended_domain_count ())
+let cores () = Domain.recommended_domain_count ()
+
+let default_jobs () = max 1 (cores ())
+
+(* More workers than cores measures scheduling overhead, not scaling;
+   benchmark reporters use this to flag misleading speedup numbers. *)
+let oversubscribed ~jobs = jobs > cores ()
 
 exception Worker_failure of int * exn
 

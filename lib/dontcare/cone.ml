@@ -25,7 +25,10 @@ let collapse ?(max_leaves = 14) net root =
   let var_of = Hashtbl.create 16 in
   Array.iteri (fun i n -> Hashtbl.add var_of n.N.id i) leaves;
   (* Build the cone's function as a BDD over the leaf variables, then read a
-     cover off the 1-paths. *)
+     cover off the 1-paths.  The scope is per-cone (variable index [i] means
+     a different leaf in every cone) but the nodes land in the process-wide
+     shared table, so structurally equal cones — ubiquitous across windows
+     and suite rows — cost probes instead of fresh allocations. *)
   let man = Bdd.create () in
   let values = Hashtbl.create 64 in
   let rec value_of id =

@@ -20,6 +20,9 @@ let unreachable_states ?(max_latches = 24) ?(max_bdd_nodes = 2_000_000) net =
     raise (Too_large (Printf.sprintf "%d latches" nlatch));
   let pis = N.inputs net in
   let npi = List.length pis in
+  (* a scope on the shared table: [Bdd.node_count] below charges only this
+     traversal, so the node budget is independent of whatever other rows or
+     domains have already built *)
   let man = Bdd.create () in
   let ps_var = Hashtbl.create 16 in
   List.iteri (fun j l -> Hashtbl.add ps_var l.N.id (npi + j)) latches;

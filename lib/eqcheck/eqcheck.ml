@@ -30,6 +30,7 @@ let m_cap_state_bits = Obs.Metrics.counter "eqcheck.cap.state_bits"
 let m_cap_bdd_nodes = Obs.Metrics.counter "eqcheck.cap.bdd_nodes"
 let m_cap_sat_conflicts = Obs.Metrics.counter "eqcheck.cap.sat_conflicts"
 let m_cone_rescued = Obs.Metrics.counter "eqcheck.seq.cone_rescued"
+let m_bdd_reuse = Obs.Metrics.counter "eqcheck.bdd.reuse"
 
 type cex = {
   endpoint : string;
@@ -95,9 +96,37 @@ let comb_interface_matches pre post =
   Sim.Equiv.leaf_names pre = Sim.Equiv.leaf_names post
   && Sim.Equiv.endpoint_names pre = Sim.Equiv.endpoint_names post
 
+(* Memo of the last cone-function build, keyed by network identity, revision
+   and leaf frame.  In an instrumented flow the [pre] side of check k+1 is a
+   snapshot of the [post] side of check k, so its cone BDDs can be reused
+   instead of rebuilt: the shared unique table never frees or renumbers
+   nodes, so the handles stay valid across checks.  Budget parity is kept by
+   [Bdd.adopt]-ing the recorded build charge into the new check's scope. *)
+type cone_memo = {
+  me_net : N.t;
+  me_rev : int;
+  me_frame : string list;  (** the leaf list the variable frame was built on *)
+  me_values : (int, Bdd.t) Hashtbl.t;
+  me_man : Bdd.man;  (** sub-scope charged with exactly this build's nodes *)
+}
+
+type memo = cone_memo option ref
+
+let memo () : memo = ref None
+
+(* After [instrument] snapshots the working network, the snapshot (same node
+   ids, never mutated) replaces it as the memo key. *)
+let memo_rekey (m : memo) ~from_net ~to_net =
+  match !m with
+  | Some e when e.me_net == from_net && e.me_rev = N.revision from_net ->
+    m := Some { e with me_net = to_net; me_rev = N.revision to_net }
+  | Some _ | None -> ()
+
 (* Node BDDs for every combinational value of [net], leaves resolved through
-   [var_of_name]; raises [Budget] past the node cap. *)
-let build_values man ~max_bdd_nodes net var_of_name =
+   [var_of_name]; raises [Budget] once [budget_man]'s charge passes the node
+   cap ([budget_man] is the whole check's cumulative scope, so the cap trips
+   exactly as it did when every check rebuilt from scratch). *)
+let build_values man ~budget_man ~max_bdd_nodes net var_of_name =
   let values = Hashtbl.create 256 in
   List.iter
     (fun p -> Hashtbl.add values p.N.id (Bdd.var man (var_of_name p.N.name)))
@@ -134,7 +163,7 @@ let build_values man ~max_bdd_nodes net var_of_name =
           Bdd.bfalse cover.Logic.Cover.cubes
       in
       Hashtbl.add values n.N.id v;
-      if Bdd.node_count man > max_bdd_nodes then
+      if Bdd.node_count budget_man > max_bdd_nodes then
         raise (Budget "bdd node budget exhausted building cone functions"))
     (N.topo_combinational net);
   values
@@ -175,14 +204,47 @@ let make_comb_cex pre post leaves assign =
     trace = [];
     sim_confirmed = confirmed }
 
-let comb_check_bdd ~options ~pairs pre post leaves =
+let comb_check_bdd ~options ~pairs ?memo pre post leaves =
   let man = Bdd.create () in
   let var_idx = Hashtbl.create 64 in
   List.iteri (fun i name -> Hashtbl.add var_idx name i) leaves;
   let var_of_name name = Hashtbl.find var_idx name in
   let max_bdd_nodes = options.max_bdd_nodes in
-  let values_pre = build_values man ~max_bdd_nodes pre var_of_name in
-  let values_post = build_values man ~max_bdd_nodes post var_of_name in
+  (* each side builds in a sub-scope so the memo can record exactly that
+     side's node charge, while [man] keeps the cumulative count the budget
+     tests against *)
+  let build net =
+    let scope = Bdd.sub_scope man in
+    (build_values scope ~budget_man:man ~max_bdd_nodes net var_of_name, scope)
+  in
+  let values_pre =
+    match memo with
+    | Some r ->
+      (match !r with
+       | Some m
+         when m.me_net == pre
+              && m.me_rev = N.revision pre
+              && m.me_frame = leaves
+              (* in `Private mode each check owns a fresh table, so recorded
+                 handles are meaningless here: fall through and rebuild *)
+              && Bdd.same_table m.me_man man ->
+         Obs.Metrics.incr m_bdd_reuse;
+         Bdd.adopt man m.me_man;
+         m.me_values
+       | Some _ | None -> fst (build pre))
+    | None -> fst (build pre)
+  in
+  let values_post, post_scope = build post in
+  (match memo with
+   | Some r ->
+     r :=
+       Some
+         { me_net = post;
+           me_rev = N.revision post;
+           me_frame = leaves;
+           me_values = values_post;
+           me_man = post_scope }
+   | None -> ());
   (* care set: every pair of equivalent registers agrees *)
   let care =
     List.fold_left
@@ -328,7 +390,7 @@ let comb_check_sat ~options ~pairs pre post =
     in
     `Diff assign
 
-let comb_check ?(options = default_options) ?(classes = []) pre post =
+let comb_check ?(options = default_options) ?(classes = []) ?memo pre post =
   if not (comb_interface_matches pre post) then
     Unknown "interface mismatch (leaf or endpoint names differ)"
   else begin
@@ -346,7 +408,7 @@ let comb_check ?(options = default_options) ?(classes = []) pre post =
         | `Unknown msg -> Unknown msg
         | `Diff assign -> Refuted (make_comb_cex pre post leaves assign)
       in
-      match comb_check_bdd ~options ~pairs pre post leaves with
+      match comb_check_bdd ~options ~pairs ?memo pre post leaves with
       | r -> finish r
       | exception Budget _ ->
         Obs.Metrics.incr m_cap_bdd_nodes;
@@ -912,10 +974,13 @@ let timed f =
   let v = f () in
   (v, Unix.gettimeofday () -. t0)
 
-let check_pass ?(options = default_options) ~label ~pass ~classes pre post =
+let check_pass ?(options = default_options) ?memo ~label ~pass ~classes pre post
+    =
   let eq_record =
     if comb_interface_matches pre post then begin
-      let v, secs = timed (fun () -> comb_check ~options ~classes pre post) in
+      let v, secs =
+        timed (fun () -> comb_check ~options ~classes ?memo pre post)
+      in
       match v with
       | Proved ->
         { label; pass; rule = "eq-pass/comb"; verdict = Proved; seconds = secs }
@@ -958,6 +1023,7 @@ let check_pass ?(options = default_options) ~label ~pass ~classes pre post =
 
 let instrument ?(options = default_options) ~label sink =
   let reference = ref None in
+  let memo = memo () in
   let remember net =
     reference := Some (net, N.revision net, N.outputs_revision net, N.copy net)
   in
@@ -970,9 +1036,15 @@ let instrument ?(options = default_options) ~label sink =
   let boundary pass classes net =
     (match !reference with
      | Some (_, _, _, copy) when not (unchanged net) ->
-       sink := !sink @ check_pass ~options ~label ~pass ~classes copy net
+       sink := !sink @ check_pass ~options ~memo ~label ~pass ~classes copy net
      | Some _ | None -> ());
-    remember net
+    remember net;
+    (* the fresh snapshot (identical node ids, never mutated) becomes the
+       memo key, so the next boundary's [pre] side reuses this check's cone
+       BDDs instead of rebuilding them *)
+    match !reference with
+    | Some (_, _, _, copy) -> memo_rekey memo ~from_net:net ~to_net:copy
+    | None -> ()
   in
   let ins =
     { Verify.checkpoint = boundary;

@@ -77,9 +77,20 @@ type record = {
 val verdict_name : verdict -> string
 (** ["proved"], ["refuted"], ["unknown"]. *)
 
+type memo
+(** Cone-BDD build memo for a sequence of checks over one pass lineage: when
+    a check's [pre] network is (a snapshot of) the previous check's [post],
+    its cone functions are taken from the shared BDD table instead of being
+    rebuilt.  Reuses are counted by the [eqcheck.bdd.reuse] metric; node
+    budgets still trip exactly as if each check rebuilt from scratch. *)
+
+val memo : unit -> memo
+(** A fresh (empty) memo. *)
+
 val comb_check :
   ?options:options ->
   ?classes:int list list ->
+  ?memo:memo ->
   Netlist.Network.t ->
   Netlist.Network.t ->
   verdict
@@ -107,6 +118,7 @@ val dcret_check :
 
 val check_pass :
   ?options:options ->
+  ?memo:memo ->
   label:string ->
   pass:string ->
   classes:int list list ->

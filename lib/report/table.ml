@@ -92,9 +92,11 @@ let summary rows =
     (mean (ratios (fun s -> s.Core.Flow.area)))
 
 (* [jobs] > 1 runs one worker domain per suite row (bounded by [jobs]); every
-   row builds its own network, timers and BDD managers from its entry's fixed
-   seed, so the rows are independent and the joined output is byte-identical
-   to a serial run. *)
+   row builds its own network and timers from its entry's fixed seed, and its
+   BDD scopes all point at the process-wide shared unique table, which dedups
+   node structure across rows and domains.  Rows stay independent — scope
+   accounting makes node budgets blind to table warmth — so the joined output
+   is byte-identical to a serial run. *)
 let run_suite ?(verify = true) ?(verify_each = false) ?(eqcheck_each = false)
     ?eqcheck_options ?resynth_options ?names ?(jobs = 1) () =
   let entries =

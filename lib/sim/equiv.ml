@@ -180,6 +180,8 @@ let seq_equal_bdd ?(max_latches = 28) ?(delay = 0) a b =
     if n1 + n2 > max_latches then
       raise (Too_large "seq_equal_bdd: too many latches");
     let npi = List.length pi_names in
+    (* per-call scope; the product machines of different calls share node
+       structure through the process-wide table *)
     let man = Bdd.create () in
     let pi_index name =
       let rec find i = function

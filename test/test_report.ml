@@ -84,6 +84,35 @@ let test_run_suite_jobs_deterministic () =
   Alcotest.(check string) "jobs=4 matches serial" serial (render 4);
   Alcotest.(check string) "jobs=2 matches serial" serial (render 2)
 
+(* Same invariant with the per-pass semantic equivalence analyzer on: every
+   worker domain runs eqcheck scopes against the shared BDD table, and both
+   the table and the verdict stream must still be byte-identical to the
+   serial run.  Per-record check durations are wall-clock and excluded; each
+   verdict itself (including the Unknown reason, which embeds BDD node
+   budgets) must match. *)
+let test_run_suite_jobs_deterministic_eqcheck () =
+  let names = [ "s27"; "s208"; "s298" ] in
+  let render jobs =
+    let rows =
+      Report.Table.run_suite ~verify:false ~eqcheck_each:true ~names ~jobs ()
+    in
+    let verdicts =
+      List.map
+        (fun r ->
+          match r.Eqcheck.verdict with
+          | Eqcheck.Proved -> "proved"
+          | Eqcheck.Refuted _ -> "refuted"
+          | Eqcheck.Unknown reason -> "unknown: " ^ reason)
+        (Report.Table.eqcheck_records rows)
+    in
+    Report.Table.render rows ^ Report.Table.summary rows
+    ^ Report.Table.eqcheck_summary rows
+    ^ String.concat "\n" verdicts
+  in
+  let serial = render 1 in
+  Alcotest.(check string) "jobs=4 matches serial (eqcheck-each)" serial
+    (render 4)
+
 let test_parallel_map () =
   let items = Array.init 57 Fun.id in
   let square x = x * x in
@@ -114,4 +143,6 @@ let () =
           Alcotest.test_case "run subset" `Quick test_run_suite_subset;
           Alcotest.test_case "jobs determinism" `Quick
             test_run_suite_jobs_deterministic;
+          Alcotest.test_case "jobs determinism (eqcheck-each)" `Quick
+            test_run_suite_jobs_deterministic_eqcheck;
           Alcotest.test_case "parallel map" `Quick test_parallel_map ] ) ]
