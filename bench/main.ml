@@ -465,23 +465,27 @@ let logic_bench ?(emit_json = true) ?(quick = false) () =
 
 (* --- 3e. Serial vs domain-parallel Table I ------------------------------------------- *)
 
-let suite_bench ?(emit_json = true) ?(verify = true) ?(eqcheck_each = false)
-    ?names ?(jobs = 4) () =
+let suite_bench ?(emit_json = true) ?(verify = true) ?(verify_each = false)
+    ?(eqcheck_each = false) ?names ?(jobs = 4) () =
   section
-    (Printf.sprintf "Table I suite: serial vs %d-domain parallel run%s" jobs
-       (if eqcheck_each then " (--eqcheck-each)" else ""));
+    (Printf.sprintf "Table I suite: serial vs %d-domain parallel run%s%s" jobs
+       (if eqcheck_each then " (--eqcheck-each)" else "")
+       (if verify_each then " (--verify-each)" else ""));
   let run jobs =
     let t0 = Unix.gettimeofday () in
-    let rows = Report.Table.run_suite ~verify ~eqcheck_each ?names ~jobs () in
+    let rows, times =
+      Report.Table.run_suite_timed ~verify ~verify_each ~eqcheck_each ?names
+        ~jobs ()
+    in
     let dt = Unix.gettimeofday () -. t0 in
     let out =
       Report.Table.render rows ^ Report.Table.summary rows
       ^ (if eqcheck_each then Report.Table.eqcheck_summary rows else "")
     in
-    (out, dt)
+    (out, dt, times)
   in
-  let serial_out, serial_s = run 1 in
-  let parallel_out, parallel_s = run jobs in
+  let serial_out, serial_s, serial_times = run 1 in
+  let parallel_out, parallel_s, _ = run jobs in
   if not (String.equal serial_out parallel_out) then begin
     Printf.eprintf
       "suite bench: --jobs 1 and --jobs %d outputs DIFFER — determinism bug\n"
@@ -494,10 +498,43 @@ let suite_bench ?(emit_json = true) ?(verify = true) ?(eqcheck_each = false)
     | Some ns -> List.length ns
     | None -> List.length Circuits.Suite.entries
   in
+  (* Critical-path decomposition: with row-granular parallelism only, the
+     slowest row lower-bounds the parallel wall clock no matter how many
+     workers run.  The intra-row tasks (eqcheck boundary chain, verify rule
+     groups, the two verification lanes, resynthesis cone evaluation) exist
+     to break exactly that bound, so measure it: re-run just the slowest row
+     serial vs [jobs]-worker and report how much of it decomposes. *)
+  let slowest_row, slowest_row_s =
+    List.fold_left
+      (fun (bn, bs) (n, s) -> if s > bs then (n, s) else (bn, bs))
+      ("", 0.0) serial_times
+  in
+  let slowest_row_share =
+    100.0 *. slowest_row_s /. Float.max 1e-9 serial_s
+  in
+  let time_critical jobs =
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Report.Table.run_suite ~verify ~verify_each ~eqcheck_each
+         ~names:[ slowest_row ] ~jobs ());
+    Unix.gettimeofday () -. t0
+  in
+  let critical_serial_s = time_critical 1 in
+  let critical_intra_s = time_critical jobs in
+  let critical_speedup =
+    critical_serial_s /. Float.max 1e-9 critical_intra_s
+  in
   Printf.printf
     "  %d rows, verify=%b: serial %.1fs, %d jobs %.1fs, speedup %.2fx \
      (output byte-identical)\n"
     rows verify serial_s jobs parallel_s speedup;
+  Printf.printf
+    "  slowest row: %s at %.2fs serial (%.0f%% of the suite's serial time)\n"
+    slowest_row slowest_row_s slowest_row_share;
+  Printf.printf
+    "  critical row alone: serial %.2fs, %d jobs %.2fs — intra-row speedup \
+     %.2fx\n"
+    critical_serial_s jobs critical_intra_s critical_speedup;
   Printf.printf "  available cores (recommended_domain_count): %d\n"
     (Core.Parallel.cores ());
   if Core.Parallel.oversubscribed ~jobs then
@@ -505,11 +542,14 @@ let suite_bench ?(emit_json = true) ?(verify = true) ?(eqcheck_each = false)
       "  warning: %d jobs > %d cores — the parallel phase measures domain \
        scheduling overhead, not scaling\n"
       jobs (Core.Parallel.cores ());
-  if emit_json then
+  if emit_json then begin
+    Obs.Metrics.enable ();
+    Obs.Metrics.set_info "bench.suite.slowest_row" slowest_row;
     emit_bench ~file:"BENCH_suite.json" ~prefix:"bench.suite"
       ~title:"Table I suite, serial vs domain-parallel" ~unit:"s_per_run"
       [ ("rows", float_of_int rows);
         ("verify", if verify then 1.0 else 0.0);
+        ("verify_each", if verify_each then 1.0 else 0.0);
         ("eqcheck_each", if eqcheck_each then 1.0 else 0.0);
         ("jobs", float_of_int jobs);
         ("cores", float_of_int (Core.Parallel.cores ()));
@@ -518,7 +558,13 @@ let suite_bench ?(emit_json = true) ?(verify = true) ?(eqcheck_each = false)
         ("serial_s", serial_s);
         ("parallel_s", parallel_s);
         ("speedup", speedup);
-        ("byte_identical", 1.0) ];
+        ("slowest_row_s", slowest_row_s);
+        ("slowest_row_share_pct", slowest_row_share);
+        ("critical_row_serial_s", critical_serial_s);
+        ("critical_row_intra_s", critical_intra_s);
+        ("critical_row_intra_speedup", critical_speedup);
+        ("byte_identical", 1.0) ]
+  end;
   speedup
 
 (* --- 3f. Shared BDD manager ---------------------------------------------------------- *)
@@ -548,20 +594,21 @@ let bdd_bench ?(emit_json = true) ?(quick = false) ?(jobs = 4) () =
     let nodes0 = Bdd.total_allocated () in
     let bytes0 = Gc.allocated_bytes () in
     let t0 = Unix.gettimeofday () in
-    let rows =
-      Report.Table.run_suite ~verify:false ~eqcheck_each:true ?names ~jobs ()
+    let rows, times =
+      Report.Table.run_suite_timed ~verify:false ~eqcheck_each:true ?names
+        ~jobs ()
     in
     let dt = Unix.gettimeofday () -. t0 in
     let bytes = Gc.allocated_bytes () -. bytes0 in
     let nodes = Bdd.total_allocated () - nodes0 in
-    (render rows, rows, dt, nodes, bytes)
+    (render rows, rows, dt, nodes, bytes, times)
   in
   let rows_n =
     match names with
     | Some ns -> List.length ns
     | None -> List.length Circuits.Suite.entries
   in
-  let out_a, rows_a, a_s, a_nodes, a_bytes = run 1 in
+  let out_a, rows_a, a_s, a_nodes, a_bytes, a_times = run 1 in
   let proved, refuted, unknown =
     Eqcheck.counts (Report.Table.eqcheck_records rows_a)
   in
@@ -575,7 +622,7 @@ let bdd_bench ?(emit_json = true) ?(quick = false) ?(jobs = 4) () =
       "  warning: %d jobs > %d cores — parallel phase measures scheduling, \
        not scaling\n"
       jobs (Core.Parallel.cores ());
-  let out_b, _, b_s, _, _ = run jobs in
+  let out_b, _, b_s, _, _, _ = run jobs in
   if not (String.equal out_a out_b) then begin
     Printf.eprintf
       "bdd bench: --jobs 1 and --jobs %d outputs DIFFER — determinism bug\n"
@@ -583,7 +630,7 @@ let bdd_bench ?(emit_json = true) ?(quick = false) ?(jobs = 4) () =
     exit 1
   end;
   Bdd.set_default_mode `Private;
-  let out_c, _, c_s, c_nodes, c_bytes = run 1 in
+  let out_c, _, c_s, c_nodes, c_bytes, _ = run 1 in
   Bdd.set_default_mode `Shared;
   if not (String.equal out_a out_c) then begin
     Printf.eprintf
@@ -593,6 +640,12 @@ let bdd_bench ?(emit_json = true) ?(quick = false) ?(jobs = 4) () =
   end;
   let node_ratio = float_of_int c_nodes /. float_of_int (max 1 a_nodes) in
   let word_ratio = c_bytes /. Float.max 1.0 a_bytes in
+  let slowest_row, slowest_row_s =
+    List.fold_left
+      (fun (bn, bs) (n, s) -> if s > bs then (n, s) else (bn, bs))
+      ("", 0.0) a_times
+  in
+  let slowest_row_share = 100.0 *. slowest_row_s /. Float.max 1e-9 a_s in
   Printf.printf
     "  %d rows, eqcheck-each, verdicts %d proved / %d refuted / %d unknown \
      (all three phases byte-identical)\n"
@@ -608,7 +661,12 @@ let bdd_bench ?(emit_json = true) ?(quick = false) ?(jobs = 4) () =
     "  dedup: %.2fx fewer BDD nodes allocated, %.2fx fewer heap words \
      (target >= 1.5x nodes)\n"
     node_ratio word_ratio;
-  if emit_json then
+  Printf.printf
+    "  slowest row: %s at %.2fs serial (%.0f%% of phase A)\n" slowest_row
+    slowest_row_s slowest_row_share;
+  if emit_json then begin
+    Obs.Metrics.enable ();
+    Obs.Metrics.set_info "bench.bdd.slowest_row" slowest_row;
     emit_bench ~file:"BENCH_bdd.json" ~prefix:"bench.bdd"
       ~title:"shared vs private BDD tables on the --eqcheck-each suite"
       ~unit:"nodes_per_run"
@@ -625,10 +683,13 @@ let bdd_bench ?(emit_json = true) ?(quick = false) ?(jobs = 4) () =
         ("shared_heap_mwords", a_bytes /. 8e6);
         ("private_heap_mwords", c_bytes /. 8e6);
         ("heap_word_ratio", word_ratio);
+        ("slowest_row_s", slowest_row_s);
+        ("slowest_row_share_pct", slowest_row_share);
         ("proved", float_of_int proved);
         ("refuted", float_of_int refuted);
         ("unknown", float_of_int unknown);
-        ("byte_identical", 1.0) ];
+        ("byte_identical", 1.0) ]
+  end;
   node_ratio
 
 (* --- 3g. Verifier overhead ----------------------------------------------------------- *)
@@ -883,6 +944,7 @@ let () =
   let eqcheck_only = List.mem "--eqcheck" args in
   let bdd_only = List.mem "--bdd" args in
   let eqcheck_each = List.mem "--eqcheck-each" args in
+  let verify_each = List.mem "--verify-each" args in
   let quick = List.mem "--quick" args in
   (* value of a "--flag v" pair, if present *)
   let arg_value flag =
@@ -930,7 +992,9 @@ let () =
     ignore (sta_bench ~circuits:[ "s641"; "s1196"; "s1238"; "s5378" ] ())
   else if logic_only then ignore (logic_bench ~quick ())
   else if suite_only then
-    ignore (suite_bench ~verify:(not quick) ~eqcheck_each ?names ~jobs ())
+    ignore
+      (suite_bench ~verify:(not quick) ~verify_each ~eqcheck_each ?names
+         ~jobs ())
   else if verifier_only then ignore (verifier_bench ?names ())
   else if eqcheck_only then ignore (eqcheck_bench ?names ())
   else if bdd_only then ignore (bdd_bench ~quick ~jobs ())
@@ -971,10 +1035,12 @@ let () =
   (match metrics_json with
    | Some file ->
      Bdd.publish_stats ();
+     Techmap.publish_stats ();
      Obs.Export.write_file file (Obs.Export.metrics_json ());
      Printf.printf "metrics: written to %s\n" file
    | None -> ());
   if metrics then begin
     Bdd.publish_stats ();
+    Techmap.publish_stats ();
     print_string (Obs.Export.text_summary ())
   end

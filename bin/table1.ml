@@ -5,9 +5,12 @@
                  [--trace FILE] [--trace-format chrome|json] [--metrics]
                  [--metrics-json FILE]
 
-   --jobs N        run N suite rows in parallel domains (default 1; 0 = one
-                   per recommended core).  Output is byte-identical for every
-                   N.
+   --jobs N        size of the fork-join worker pool (default 1; 0 = one
+                   worker per recommended core).  Rows run in parallel, and
+                   workers left idle by the row split steal intra-row tasks
+                   (eqcheck boundary checks, verify rule groups, the two
+                   verification lanes), so N above the row count still
+                   helps.  Output is byte-identical for every N.
    --names         comma-separated subset of suite circuits
    --no-verify     skip the sequential-equivalence check on each flow result
    --verify-each   run the netlist verifier (structural rules + journal
@@ -171,11 +174,13 @@ let () =
   (match !metrics_json with
    | Some file ->
      Bdd.publish_stats ();
+     Techmap.publish_stats ();
      Obs.Export.write_file file (Obs.Export.metrics_json ());
      Printf.printf "metrics: written to %s\n" file
    | None -> ());
   if !metrics then begin
     Bdd.publish_stats ();
+    Techmap.publish_stats ();
     print_string (Obs.Export.text_summary ())
   end;
   Printf.printf "regenerated in %.1fs (%d jobs)\n"

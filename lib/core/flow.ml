@@ -82,10 +82,10 @@ let run_all ?(verify = true) ?(verify_each = false) ?(eqcheck_each = false)
     if verify_each then Verify.instrument ~label:name else Verify.no_instrument
   in
   let eq_records = ref [] in
-  let eq_ins, eq_seed =
+  let eq_ins, eq_seed, eq_finish =
     if eqcheck_each then
       Eqcheck.instrument ?options:eqcheck_options ~label:name eq_records
-    else (Verify.no_instrument, fun _ -> ())
+    else (Verify.no_instrument, (fun _ -> ()), fun () -> ())
   in
   let ins = Verify.compose verify_ins eq_ins in
   eq_seed net;
@@ -106,34 +106,50 @@ let run_all ?(verify = true) ?(verify_each = false) ?(eqcheck_each = false)
           try Sim.Equiv.seq_equal mapped result
           with Failure _ -> Sim.Equiv.seq_equal_random ~seed:7 mapped result)
   in
-  let verify_diags = ref [] in
-  let collect_diags net' =
-    if verify_each then verify_diags := !verify_diags @ Verify.run net'
+  (* Each flow's result gets a verification lane — measurement, BDD/co-sim
+     equivalence against [mapped], and the static verifier — forked as a
+     task so it overlaps with the other flow (and, nested, with the verify
+     rule groups and eqcheck boundary tasks).  Every lane input is owned by
+     exactly one lane; [mapped] is shared read-only, its lazily cached topo
+     order computed up front. *)
+  ignore (N.topo_combinational mapped);
+  let lane which net' =
+    Parallel.fork (fun () ->
+        Obs.Trace.span ~cat:"verify" ("lane/" ^ which) (fun () ->
+            let stats = measure net' ~lib in
+            let verified = check net' in
+            let diags = if verify_each then Verify.run net' else [] in
+            ({ stats = Some stats; note = ""; verified }, diags)))
+  in
+  let failed msg =
+    Parallel.fork (fun () -> ({ stats = None; note = msg; verified = true }, []))
   in
   (* the two flows branch from [mapped]: re-seed the eqcheck reference so
      each flow's first pass is compared against its real input *)
   eq_seed mapped;
-  let retimed =
+  let retimed_lane =
     match retiming_flow ~current_period:base.clk ~ins mapped ~lib with
-    | Ok net' ->
-      collect_diags net';
-      { stats = Some (measure net' ~lib); note = ""; verified = check net' }
-    | Error msg -> { stats = None; note = msg; verified = true }
+    | Ok net' -> lane "retimed" net'
+    | Error msg -> failed msg
   in
   eq_seed mapped;
   let resynth_outcome = ref None in
-  let resynthesized =
+  let resynth_lane =
     match resynthesis_flow ~options:resynth_options ~ins mapped with
     | Ok (net', outcome) ->
       resynth_outcome := Some outcome;
-      collect_diags net';
-      { stats = Some (measure net' ~lib); note = ""; verified = check net' }
-    | Error msg -> { stats = None; note = msg; verified = true }
+      lane "resynthesized" net'
+    | Error msg -> failed msg
   in
+  (* joins in program order: attempt values, diagnostic order and the
+     eqcheck record stream match the serial run byte for byte *)
+  let retimed, retimed_diags = Parallel.join retimed_lane in
+  let resynthesized, resynth_diags = Parallel.join resynth_lane in
+  eq_finish ();
   { circuit = name;
     base;
     retimed;
     resynthesized;
     resynth_outcome = !resynth_outcome;
     eqcheck = !eq_records;
-    verify_diags = !verify_diags }
+    verify_diags = retimed_diags @ resynth_diags }

@@ -1,67 +1,8 @@
-(* Domain-based deterministic parallel map (OCaml 5).
+(* Re-export of the fork-join task scheduler.
 
-   Work items are claimed from a shared atomic counter, so domains stay busy
-   regardless of per-item cost, but results land in a slot array indexed by
-   item position: the caller observes the same ordering as a serial
-   [Array.map], whatever the interleaving was.  Each worker runs the supplied
-   function with no shared mutable state beyond the claim counter — callers
-   must hand out per-item state (networks, BDD scopes, [Random.State]) inside
-   [f] itself, which every suite builder already does by seeding from the
-   item.  BDD nodes themselves live in the process-wide shared table
-   ([lib/bdd]), so domains dedup structure automatically while their scopes
-   keep per-item accounting independent. *)
+   The scheduler itself lives in [lib/sched] so layers below [core] —
+   [Eqcheck] boundary checks, [Verify] rule groups — can fork tasks onto
+   the same pool; [Core.Parallel] stays the canonical name used by flows,
+   reports and binaries. *)
 
-let cores () = Domain.recommended_domain_count ()
-
-let default_jobs () = max 1 (cores ())
-
-(* More workers than cores measures scheduling overhead, not scaling;
-   benchmark reporters use this to flag misleading speedup numbers. *)
-let oversubscribed ~jobs = jobs > cores ()
-
-exception Worker_failure of int * exn
-
-(* [map ~jobs f items]: apply [f] to every element, using up to [jobs]
-   domains (including the calling one).  Results are returned in item order.
-   If any [f] raises, the exception of the lowest-indexed failing item is
-   re-raised — also deterministically. *)
-let map ?jobs f items =
-  let n = Array.length items in
-  let jobs =
-    match jobs with Some j -> max 1 (min j n) | None -> min (default_jobs ()) n
-  in
-  if jobs <= 1 || n <= 1 then Array.map f items
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          let r =
-            match f items.(i) with
-            | v -> Ok v
-            | exception e -> Error e
-          in
-          results.(i) <- Some r;
-          loop ()
-        end
-      in
-      loop ()
-    in
-    (* each worker is one span: on a Chrome trace its domain renders as a
-       distinct track holding the per-item spans taken inside [f] *)
-    let traced_worker () = Obs.Trace.span ~cat:"parallel" "worker" worker in
-    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn traced_worker) in
-    traced_worker ();
-    Array.iter Domain.join domains;
-    Array.mapi
-      (fun i r ->
-        match r with
-        | Some (Ok v) -> v
-        | Some (Error e) -> raise (Worker_failure (i, e))
-        | None -> assert false)
-      results
-  end
-
-let map_list ?jobs f items = Array.to_list (map ?jobs f (Array.of_list items))
+include Sched

@@ -114,14 +114,6 @@ type memo = cone_memo option ref
 
 let memo () : memo = ref None
 
-(* After [instrument] snapshots the working network, the snapshot (same node
-   ids, never mutated) replaces it as the memo key. *)
-let memo_rekey (m : memo) ~from_net ~to_net =
-  match !m with
-  | Some e when e.me_net == from_net && e.me_rev = N.revision from_net ->
-    m := Some { e with me_net = to_net; me_rev = N.revision to_net }
-  | Some _ | None -> ()
-
 (* Node BDDs for every combinational value of [net], leaves resolved through
    [var_of_name]; raises [Budget] once [budget_man]'s charge passes the node
    cap ([budget_man] is the whole check's cumulative scope, so the cap trips
@@ -976,6 +968,19 @@ let timed f =
 
 let check_pass ?(options = default_options) ?memo ~label ~pass ~classes pre post
     =
+  (* the class-invariant certificate only reads [post] and owns its own BDD
+     scope, so it runs as a sibling task of the comb/seq check.  [post]'s
+     lazily cached topo order is computed before forking: both lanes read it
+     concurrently afterwards. *)
+  let dcret_fut =
+    if classes = [] then None
+    else begin
+      ignore (N.topo_combinational post);
+      Some
+        (Sched.fork (fun () ->
+             timed (fun () -> dcret_check ~options post classes)))
+    end
+  in
   let eq_record =
     if comb_interface_matches pre post then begin
       let v, secs =
@@ -1002,11 +1007,11 @@ let check_pass ?(options = default_options) ?memo ~label ~pass ~classes pre post
     end
   in
   let dcret_records =
-    if classes = [] then []
-    else begin
-      let v, secs = timed (fun () -> dcret_check ~options post classes) in
+    match dcret_fut with
+    | None -> []
+    | Some fut ->
+      let v, secs = Sched.join fut in
       [ { label; pass; rule = "dcret-invariant"; verdict = v; seconds = secs } ]
-    end
   in
   let records = eq_record :: dcret_records in
   List.iter
@@ -1024,6 +1029,16 @@ let check_pass ?(options = default_options) ?memo ~label ~pass ~classes pre post
 let instrument ?(options = default_options) ~label sink =
   let reference = ref None in
   let memo = memo () in
+  (* Boundary checks run as scheduler tasks so a whole flow's checks overlap
+     with the flow itself (and with each other's dcret lanes).  Both sides of
+     every check are snapshots the flow never mutates again, so the tasks
+     need no lock; they are *chained* — task k+1 first joins task k — because
+     they share [memo] (check k's post cones are check k+1's pre cones).
+     The chain also makes [eqcheck.bdd.reuse] and the memo hit sequence
+     byte-identical at any [--jobs N].  [finish] joins the chain and fills
+     [sink] in boundary order, exactly as the serial version appended. *)
+  let chain = ref None in
+  let pending = ref [] in
   let remember net =
     reference := Some (net, N.revision net, N.outputs_revision net, N.copy net)
   in
@@ -1034,17 +1049,32 @@ let instrument ?(options = default_options) ~label sink =
     | None -> false
   in
   let boundary pass classes net =
-    (match !reference with
-     | Some (_, _, _, copy) when not (unchanged net) ->
-       sink := !sink @ check_pass ~options ~memo ~label ~pass ~classes copy net
-     | Some _ | None -> ());
-    remember net;
-    (* the fresh snapshot (identical node ids, never mutated) becomes the
-       memo key, so the next boundary's [pre] side reuses this check's cone
-       BDDs instead of rebuilding them *)
     match !reference with
-    | Some (_, _, _, copy) -> memo_rekey memo ~from_net:net ~to_net:copy
-    | None -> ()
+    | Some (_, _, _, pre_copy) when not (unchanged net) ->
+      let post_copy = N.copy net in
+      let prev = !chain in
+      let fut =
+        Sched.fork (fun () ->
+            (match prev with
+             | Some p -> ignore (Sched.join p)
+             | None -> ());
+            check_pass ~options ~memo ~label ~pass ~classes pre_copy post_copy)
+      in
+      chain := Some fut;
+      pending := fut :: !pending;
+      (* the snapshot (identical node ids, never mutated) is both the next
+         boundary's [pre] side and the memo key under which [check_pass]
+         records this check's post-side cone BDDs — so the next check reuses
+         them instead of rebuilding *)
+      reference :=
+        Some (net, N.revision net, N.outputs_revision net, post_copy)
+    | Some _ -> () (* unchanged: the existing snapshot still matches *)
+    | None -> remember net
+  in
+  let finish () =
+    let futs = List.rev !pending in
+    pending := [];
+    List.iter (fun fut -> sink := !sink @ Sched.join fut) futs
   in
   let ins =
     { Verify.checkpoint = boundary;
@@ -1057,7 +1087,7 @@ let instrument ?(options = default_options) ~label sink =
           boundary pass classes net;
           result) }
   in
-  (ins, remember)
+  (ins, remember, finish)
 
 (* --- rendering ------------------------------------------------------------------ *)
 

@@ -91,29 +91,51 @@ let summary rows =
     (mean (ratios (fun s -> s.Core.Flow.clk)))
     (mean (ratios (fun s -> s.Core.Flow.area)))
 
-(* [jobs] > 1 runs one worker domain per suite row (bounded by [jobs]); every
-   row builds its own network and timers from its entry's fixed seed, and its
+(* [jobs] > 1 runs the rows on a [jobs]-worker fork-join pool; every row
+   builds its own network and timers from its entry's fixed seed, and its
    BDD scopes all point at the process-wide shared unique table, which dedups
-   node structure across rows and domains.  Rows stay independent — scope
-   accounting makes node budgets blind to table warmth — so the joined output
-   is byte-identical to a serial run. *)
-let run_suite ?(verify = true) ?(verify_each = false) ?(eqcheck_each = false)
-    ?eqcheck_options ?resynth_options ?names ?(jobs = 1) () =
+   node structure across rows and domains.  Parallelism is no longer
+   row-granular only: inside a row, eqcheck boundary checks, verify rule
+   groups and the two verification lanes are forked as nested tasks that any
+   idle worker steals — so extra workers help even on a single slow row.
+   Rows stay independent — scope accounting makes node budgets blind to
+   table warmth — so the joined output is byte-identical to a serial run.
+
+   [run_suite_timed] additionally reports each row's wall-clock seconds (in
+   entry order); timings never influence the rows themselves.  Benchmarks
+   use them for slowest-row / critical-path accounting. *)
+let run_suite_timed ?(verify = true) ?(verify_each = false)
+    ?(eqcheck_each = false) ?eqcheck_options ?resynth_options ?names
+    ?(jobs = 1) () =
   let entries =
     match names with
     | None -> Circuits.Suite.entries
     | Some ns -> List.map Circuits.Suite.find ns
   in
-  Core.Parallel.map_list ~jobs
-    (fun e ->
-      Obs.Trace.span ~cat:"suite"
-        ~args:[ ("circuit", Obs.Trace.Str e.Circuits.Suite.name) ]
-        ("row/" ^ e.Circuits.Suite.name)
-        (fun () ->
-          let net = e.Circuits.Suite.build () in
-          Core.Flow.run_all ~verify ~verify_each ~eqcheck_each ?eqcheck_options
-            ?resynth_options ~name:e.Circuits.Suite.name net))
-    entries
+  let timed_rows =
+    Core.Parallel.map_list ~jobs
+      (fun e ->
+        Obs.Trace.span ~cat:"suite"
+          ~args:[ ("circuit", Obs.Trace.Str e.Circuits.Suite.name) ]
+          ("row/" ^ e.Circuits.Suite.name)
+          (fun () ->
+            let t0 = Unix.gettimeofday () in
+            let net = e.Circuits.Suite.build () in
+            let row =
+              Core.Flow.run_all ~verify ~verify_each ~eqcheck_each
+                ?eqcheck_options ?resynth_options ~name:e.Circuits.Suite.name
+                net
+            in
+            (row, (e.Circuits.Suite.name, Unix.gettimeofday () -. t0))))
+      entries
+  in
+  (List.map fst timed_rows, List.map snd timed_rows)
+
+let run_suite ?verify ?verify_each ?eqcheck_each ?eqcheck_options
+    ?resynth_options ?names ?jobs () =
+  fst
+    (run_suite_timed ?verify ?verify_each ?eqcheck_each ?eqcheck_options
+       ?resynth_options ?names ?jobs ())
 
 let eqcheck_records rows = List.concat_map (fun r -> r.Core.Flow.eqcheck) rows
 

@@ -18,12 +18,25 @@ val run_suite :
   ?resynth_options:Core.Resynth.options ->
   ?names:string list -> ?jobs:int -> unit -> Core.Flow.row list
 (** Run the three flows over the benchmark suite (all entries by default).
-    [jobs] (default 1) bounds the number of worker domains; each row builds
+    [jobs] (default 1) sizes the fork-join worker pool; each row builds
     its own network and BDD managers from a fixed per-entry seed, so the
-    result list is identical for every [jobs] value.  [verify_each] runs the
-    netlist verifier after every named pass of every flow, failing fast with
+    result list is identical for every [jobs] value.  Workers left idle by
+    the row-level split steal intra-row tasks (eqcheck boundary checks,
+    verify rule groups, verification lanes), so [jobs] larger than the row
+    count still helps.  [verify_each] runs the netlist verifier after every
+    named pass of every flow, failing fast with
     [Verify.Verification_failed] (see {!Core.Flow.run_all}).  [eqcheck_each]
     collects per-pass semantic equivalence verdicts in each row. *)
+
+val run_suite_timed :
+  ?verify:bool -> ?verify_each:bool -> ?eqcheck_each:bool ->
+  ?eqcheck_options:Eqcheck.options ->
+  ?resynth_options:Core.Resynth.options ->
+  ?names:string list -> ?jobs:int -> unit ->
+  Core.Flow.row list * (string * float) list
+(** {!run_suite} plus per-row wall-clock seconds in entry order (benchmarks
+    use them for slowest-row / critical-path accounting); the timings never
+    influence the rows. *)
 
 val eqcheck_records : Core.Flow.row list -> Eqcheck.record list
 (** All per-pass eqcheck records of the rows, in row order. *)

@@ -264,10 +264,52 @@ let cover_tree net lib objective =
             best.(n.N.id) <- Some m
           end)
         candidates;
-      if best.(n.N.id) = None then
-        raise (Unmappable (Printf.sprintf "no match at subject node %s" n.N.name)))
+      if best.(n.N.id) = None then begin
+        Obs.Metrics.incr (Obs.Metrics.counter "techmap.unmappable");
+        raise (Unmappable (Printf.sprintf "no match at subject node %s" n.N.name))
+      end)
     (N.topo_combinational net);
   best
+
+(* --- mapping statistics --------------------------------------------------- *)
+
+(* Aggregated over every [map] call in the process; counter updates are
+   atomic and commute, so totals are identical at any [--jobs N].  Per-cell
+   instantiation counts live directly in the obs registry
+   ([techmap.cell.<gate>]); the float area total is kept here in milli-units
+   and turned into a gauge by [publish_stats]. *)
+let m_maps_delay = Obs.Metrics.counter "techmap.maps.min_delay"
+let m_maps_area = Obs.Metrics.counter "techmap.maps.min_area"
+let total_cells = Atomic.make 0
+let total_area_milli = Atomic.make 0
+
+let record_stats out ~lib ~objective =
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr
+      (match objective with
+       | Min_delay -> m_maps_delay
+       | Min_area -> m_maps_area);
+    List.iter
+      (fun n ->
+        match n.N.binding with
+        | Some b ->
+          Obs.Metrics.incr (Obs.Metrics.counter ("techmap.cell." ^ b.N.gate_name));
+          Atomic.incr total_cells
+        | None -> ())
+      (N.all_nodes out);
+    let area = N.area out ~latch_area:lib.Genlib.latch_area ~default_gate_area:2.0 in
+    ignore
+      (Atomic.fetch_and_add total_area_milli
+         (int_of_float (Float.round (area *. 1000.))))
+  end
+
+let publish_stats () =
+  Obs.Metrics.set_gauge
+    (Obs.Metrics.gauge "techmap.mapped_cells")
+    (float_of_int (Atomic.get total_cells));
+  Obs.Metrics.set_gauge
+    (Obs.Metrics.gauge "techmap.mapped_area_total")
+    (float_of_int (Atomic.get total_area_milli) /. 1000.)
 
 let map net ~lib ~objective =
   let subject = subject_graph net in
@@ -328,6 +370,7 @@ let map net ~lib ~objective =
       N.replace_fanin out nl ~old_fanin:(N.latch_data out nl) ~new_fanin:data)
     (N.latches subject);
   N.sweep out;
+  record_stats out ~lib ~objective;
   out
 
 let mapped_area net ~lib =

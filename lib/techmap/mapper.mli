@@ -22,3 +22,11 @@ val mapped_delay_model : lib:Genlib.t -> Sta.model
 (** Delay model reading gate bindings, adding the library latch setup on
     latch data pins is the caller's concern (the STA treats latch inputs as
     plain end points). *)
+
+val publish_stats : unit -> unit
+(** Export aggregated mapping statistics as [techmap.*] gauges in the obs
+    metrics registry (total bound cells, total mapped area).  Per-cell
+    instantiation counts ([techmap.cell.<gate>]) and map/remap outcome
+    counters ([techmap.maps.min_delay], [techmap.maps.min_area],
+    [techmap.unmappable]) are registered directly as counters and need no
+    publishing step.  Call before [--metrics-json] export. *)

@@ -1,0 +1,9 @@
+(* Library root: re-exports the submodules and hosts the library-level
+   statistics entry point ([Techmap.publish_stats]) so binaries don't need
+   to know which submodule aggregates them. *)
+
+module Genlib = Genlib
+module Genlib_io = Genlib_io
+module Mapper = Mapper
+
+let publish_stats = Mapper.publish_stats

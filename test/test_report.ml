@@ -84,17 +84,21 @@ let test_run_suite_jobs_deterministic () =
   Alcotest.(check string) "jobs=4 matches serial" serial (render 4);
   Alcotest.(check string) "jobs=2 matches serial" serial (render 2)
 
-(* Same invariant with the per-pass semantic equivalence analyzer on: every
-   worker domain runs eqcheck scopes against the shared BDD table, and both
-   the table and the verdict stream must still be byte-identical to the
-   serial run.  Per-record check durations are wall-clock and excluded; each
-   verdict itself (including the Unknown reason, which embeds BDD node
-   budgets) must match. *)
+(* Same invariant with the intra-row task sources all on: the per-pass
+   semantic equivalence analyzer forks a chained boundary check per pass
+   (every worker domain runs eqcheck scopes against the shared BDD table),
+   --verify-each forks the verifier's rule groups at every boundary, and
+   the two verification lanes run as stolen tasks.  The table, the verdict
+   stream and the verifier diagnostics must still be byte-identical to the
+   serial run.  Per-record check durations are wall-clock and excluded;
+   each verdict itself (including the Unknown reason, which embeds BDD
+   node budgets) must match. *)
 let test_run_suite_jobs_deterministic_eqcheck () =
   let names = [ "s27"; "s208"; "s298" ] in
   let render jobs =
     let rows =
-      Report.Table.run_suite ~verify:false ~eqcheck_each:true ~names ~jobs ()
+      Report.Table.run_suite ~verify:false ~verify_each:true
+        ~eqcheck_each:true ~names ~jobs ()
     in
     let verdicts =
       List.map
@@ -105,13 +109,17 @@ let test_run_suite_jobs_deterministic_eqcheck () =
           | Eqcheck.Unknown reason -> "unknown: " ^ reason)
         (Report.Table.eqcheck_records rows)
     in
+    let diags =
+      String.concat ""
+        (List.map (fun r -> Verify.render r.Core.Flow.verify_diags) rows)
+    in
     Report.Table.render rows ^ Report.Table.summary rows
     ^ Report.Table.eqcheck_summary rows
-    ^ String.concat "\n" verdicts
+    ^ String.concat "\n" verdicts ^ diags
   in
   let serial = render 1 in
-  Alcotest.(check string) "jobs=4 matches serial (eqcheck-each)" serial
-    (render 4)
+  Alcotest.(check string)
+    "jobs=4 matches serial (eqcheck-each + verify-each)" serial (render 4)
 
 let test_parallel_map () =
   let items = Array.init 57 Fun.id in
