@@ -1,0 +1,111 @@
+(* Repo-wide nondeterminism & memory-model lint driver.
+
+   Usage: lint [--waivers FILE] [--json FILE] PATH...
+
+   Walks every PATH (directories recurse) collecting .ml files, runs the
+   Sanitize.Lint rule engine on each, and exits non-zero if any unwaivered
+   finding survives — including unjustified or stale waivers, so the
+   waiver set can only shrink.  Run by CI and by `dune runtest` (see the
+   root dune file); the rule inventory is documented in DESIGN.md §14. *)
+
+let () =
+  let waivers_file = ref None in
+  let json_out = ref None in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--waivers" :: f :: rest ->
+      waivers_file := Some f;
+      parse rest
+    | "--json" :: f :: rest ->
+      json_out := Some f;
+      parse rest
+    | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
+      paths := arg :: !paths;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf
+        "lint: unknown argument %s\nusage: lint [--waivers FILE] [--json \
+         FILE] PATH...\n"
+        arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let paths = List.rev !paths in
+  if paths = [] then begin
+    prerr_endline "lint: no paths given";
+    exit 2
+  end;
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let waivers, waiver_probs =
+    match !waivers_file with
+    | None -> ([], [])
+    | Some f -> Sanlint.parse_waivers (read_file f)
+  in
+  (* gather .ml files, sorted for a deterministic report *)
+  let rec gather acc path =
+    if Sys.is_directory path then
+      Array.fold_left
+        (fun acc entry -> gather acc (Filename.concat path entry))
+        acc
+        (let es = Sys.readdir path in
+         Array.sort compare es;
+         es)
+    else if Filename.check_suffix path ".ml" then path :: acc
+    else acc
+  in
+  let files = List.rev (List.fold_left gather [] paths) in
+  let findings, suppressed =
+    List.fold_left
+      (fun (facc, sacc) path ->
+        let fs, sup =
+          Sanlint.scan_file ~waivers ~path (read_file path)
+        in
+        (facc @ fs, sacc @ sup))
+      (waiver_probs, [])
+      files
+  in
+  (* a LINT_WAIVERS entry that suppresses nothing is stale: report it *)
+  let used = Sanlint.used_waivers ~waivers suppressed in
+  let stale =
+    List.filter_map
+      (fun w ->
+        if List.memq w used then None
+        else
+          Some
+            Sanitize.
+              { rule_id = "lint/waiver-unused";
+                severity = Error;
+                sites = [ Printf.sprintf "LINT_WAIVERS(%s)" w.Sanlint.w_path ];
+                message =
+                  Printf.sprintf
+                    "file waiver for %s on %S suppresses nothing — remove \
+                     it"
+                    w.Sanlint.w_rule w.Sanlint.w_path })
+      waivers
+  in
+  let findings = findings @ stale in
+  (match !json_out with
+   | Some f ->
+     let oc = open_out f in
+     output_string oc (Sanitize.render_json findings);
+     output_char oc '\n';
+     close_out oc
+   | None -> ());
+  if findings <> [] then begin
+    print_endline (Sanitize.render findings);
+    Printf.printf "lint: %d finding(s) in %d file(s) scanned\n"
+      (List.length findings) (List.length files);
+    exit 1
+  end
+  else
+    Printf.printf "lint: clean — %d file(s), %d rule(s), %d waived site(s)\n"
+      (List.length files)
+      (List.length Sanlint.rule_ids)
+      (List.length suppressed)

@@ -67,7 +67,7 @@ let nstripes = 64
 let stripe_shift = 33 (* stripe index bits disjoint from small slot masks *)
 
 type stripe = {
-  s_lock : Mutex.t;
+  s_lock : Sanitize.Lock.t;
   (* interleaved open-addressing slots, stride 4: [v; low; high; id] per
      slot, all fields -1 filled.  id >= 0 marks an occupied slot.  Keeping
      the key inline means a probe step touches one cache line and never
@@ -148,33 +148,49 @@ type table = {
   published : int Atomic.t;
   dls : dcache Domain.DLS.key;
   t_caches : dcache list ref; (* every dcache ever created for this table *)
-  t_caches_lock : Mutex.t;
+  t_caches_lock : Sanitize.Lock.t;
 }
 
-(* process-wide monotone stats, across all tables *)
-let g_allocated = Atomic.make 0
-let g_tables = Atomic.make 0
-let g_scopes = Atomic.make 0
-let g_uid = Atomic.make 1 (* scope uids; 0 is the "no owner" cache stamp *)
+(* process-wide monotone stats, across all tables — commutative atomic
+   counters: increments from any domain interleave freely, only totals are
+   read, and none is an input to any result *)
+let g_allocated = Atomic.make 0 (* lint-waive: mm/mutable-global — commutative atomic stat counter *)
+let g_tables = Atomic.make 0 (* lint-waive: mm/mutable-global — commutative atomic stat counter *)
+let g_scopes = Atomic.make 0 (* lint-waive: mm/mutable-global — commutative atomic stat counter *)
+(* scope uids; 0 is the "no owner" cache stamp *)
+let g_uid = Atomic.make 1 (* lint-waive: mm/mutable-global — uid source: unique draws, never compared across runs *)
+
+(* Lock ranks: the cache registry lock (taken once per domain per table,
+   from DLS init) ranks below the stripe locks; neither is ever held while
+   acquiring the other, and both rank above the scheduler locks. *)
+let order_caches = 30
+let order_stripe = 40
 
 let initial_stripe_slots = 64
 
 let make_table ~cache_size () =
+  (* uid first: stripe locks carry it in their sanitizer names *)
+  let uid = Atomic.fetch_and_add g_uid 1 in
   let caches = ref [] in
-  let caches_lock = Mutex.create () in
+  let caches_lock =
+    Sanitize.Lock.create ~order:order_caches
+      ~name:(Printf.sprintf "bdd.%d.caches" uid)
+  in
   let dls =
     Domain.DLS.new_key (fun () ->
         let c = make_dcache cache_size in
-        Mutex.lock caches_lock;
+        Sanitize.Lock.lock caches_lock;
         caches := c :: !caches;
-        Mutex.unlock caches_lock;
+        Sanitize.Lock.unlock caches_lock;
         c)
   in
   let t =
-    { t_uid = Atomic.fetch_and_add g_uid 1;
+    { t_uid = uid;
       stripes =
-        Array.init nstripes (fun _ ->
-            { s_lock = Mutex.create ();
+        Array.init nstripes (fun i ->
+            { s_lock =
+                Sanitize.Lock.create ~order:order_stripe
+                  ~name:(Printf.sprintf "bdd.%d.stripe.%d" uid i);
               s_slots = ba_make (initial_stripe_slots * 4) (-1);
               s_count = 0;
               s_grows = 0;
@@ -200,6 +216,8 @@ let shared_table = make_table ~cache_size:(1 lsl 16) ()
 
 type mode = [ `Shared | `Private ]
 
+(* lint-waive: mm/mutable-global — written once from flow setup (before any
+   scopes exist), then only read; a process-wide default, not shared state. *)
 let g_default_mode : mode Atomic.t = Atomic.make `Shared
 
 let set_default_mode m = Atomic.set g_default_mode m
@@ -331,6 +349,9 @@ let rec wait_field t read f spins =
   (* acquire on [published] pairs with the writer's RMW, making the field
      writes visible; the block itself is read through the CAS-installed
      authoritative directory and mirrored for future fast-path reads *)
+  (* lint-waive: mm/naked-atomic-get — this IS the documented sync-retry
+     protocol the rule points at: the get is the acquire half of the
+     writer's RMW fence, and the field read below is validated by value. *)
   ignore (Atomic.get t.published);
   let bi = f lsr block_bits in
   let b = Atomic.get t.blocks_sync.(bi) in
@@ -338,7 +359,11 @@ let rec wait_field t read f spins =
   else begin
     if t.blocks.(bi) == dummy_block then t.blocks.(bi) <- b;
     let v = read b (f land block_mask) in
-    if v >= -1 then v else wait_field t read f (spins + 1)
+    if v >= -1 then begin
+      if Sanitize.enabled () then Sanitize.Pub.read ~table:t.t_uid ~id:f;
+      v
+    end
+    else wait_field t read f (spins + 1)
   end
 
 (* Handles stay below the capacity check in [insert_locked], so the block
@@ -443,7 +468,7 @@ let rec insert_loop t c st slots mask v low high s =
     let id = Atomic.fetch_and_add t.next_id 1 in
     let bi = id lsr block_bits in
     if bi >= max_blocks then begin
-      Mutex.unlock st.s_lock;
+      Sanitize.Lock.unlock st.s_lock;
       failwith "Bdd: node capacity exceeded"
     end;
     (* bind the block via the CAS-installed directory: whether this thread
@@ -461,11 +486,14 @@ let rec insert_loop t c st slots mask v low high s =
     Bigarray.Array1.set slots idx v;
     Bigarray.Array1.set slots (idx + 1) low;
     Bigarray.Array1.set slots (idx + 2) high;
+    if Sanitize.enabled () then Sanitize.Pub.wrote ~table:t.t_uid ~id;
     (* full fence: the field and key writes above become visible to any
        domain that subsequently syncs on [published] (or takes this
        stripe's lock) before the id below publishes the slot *)
     Atomic.incr t.published;
+    if Sanitize.enabled () then Sanitize.Pub.fenced ~table:t.t_uid ~id;
     Bigarray.Array1.set slots (idx + 3) id;
+    if Sanitize.enabled () then Sanitize.Pub.published ~table:t.t_uid ~id;
     st.s_count <- st.s_count + 1;
     Atomic.incr g_allocated;
     id
@@ -483,8 +511,8 @@ let rec insert_loop t c st slots mask v low high s =
 (* Returns the node id; counts a unique-table hit on [c] itself so the hot
    path stays allocation-free. *)
 let insert_locked t c st v low high h3 =
-  if not (Mutex.try_lock st.s_lock) then begin
-    Mutex.lock st.s_lock;
+  if not (Sanitize.Lock.try_lock st.s_lock) then begin
+    Sanitize.Lock.lock st.s_lock;
     st.s_contended <- st.s_contended + 1
   end;
   (* grow at 2/3 load so probe chains stay short *)
@@ -493,7 +521,7 @@ let insert_locked t c st v low high h3 =
   let slots = st.s_slots in
   let mask = (Bigarray.Array1.dim slots lsr 2) - 1 in
   let id = insert_loop t c st slots mask v low high (h3 land mask) in
-  Mutex.unlock st.s_lock;
+  Sanitize.Lock.unlock st.s_lock;
   id
 
 let cons man c v low high =
@@ -519,6 +547,9 @@ let cons man c v low high =
     let id = probe_lockfree st v low high h3 in
     let id =
       if id >= 0 then begin
+        (* the lock-free probe trusted a published slot: tell the checker
+           this domain will now read node [id]'s fields unfenced *)
+        if Sanitize.enabled () then Sanitize.Pub.read ~table:t.t_uid ~id;
         c.d_unique_hits <- c.d_unique_hits + 1;
         id
       end
@@ -566,6 +597,8 @@ let rec ite_rec man c f g h =
       && c.c_g.(slot) = g
       && c.c_h.(slot) = h
     then begin
+      if Sanitize.enabled () then
+        Sanitize.Dls.cache_hit ~entry_uid:c.c_u.(slot) ~scope_uid:man.uid;
       c.d_ite_hits <- c.d_ite_hits + 1;
       c.c_r.(slot)
     end
@@ -640,7 +673,11 @@ let quantify man ~universal vars f =
       if List.for_all (fun x -> x < v) vars then f
       else
         match Hashtbl.find_opt c.exists_cache f with
-        | Some r -> r
+        | Some r ->
+          if Sanitize.enabled () then
+            Sanitize.Dls.cache_hit ~entry_uid:c.exists_owner
+              ~scope_uid:man.uid;
+          r
         | None ->
           let lo = go (low_of_id t f) and hi = go (high_of_id t f) in
           let r =

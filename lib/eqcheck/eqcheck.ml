@@ -32,6 +32,14 @@ let m_cap_sat_conflicts = Obs.Metrics.counter "eqcheck.cap.sat_conflicts"
 let m_cone_rescued = Obs.Metrics.counter "eqcheck.seq.cone_rescued"
 let m_bdd_reuse = Obs.Metrics.counter "eqcheck.bdd.reuse"
 
+(* cone-memo outcome split: [hit] = recorded build served the pre side;
+   [miss] = memo consulted but empty or unusable; [evict] = a recorded
+   build displaced without ever being reused (stale net/frame/table).
+   [eqcheck.bdd.reuse] above stays as the historical alias of [hit]. *)
+let m_memo_hit = Obs.Metrics.counter "eqcheck.memo.hit"
+let m_memo_miss = Obs.Metrics.counter "eqcheck.memo.miss"
+let m_memo_evict = Obs.Metrics.counter "eqcheck.memo.evict"
+
 type cex = {
   endpoint : string;
   leaves : (string * bool) list;
@@ -221,9 +229,18 @@ let comb_check_bdd ~options ~pairs ?memo pre post leaves =
                  handles are meaningless here: fall through and rebuild *)
               && Bdd.same_table m.me_man man ->
          Obs.Metrics.incr m_bdd_reuse;
+         Obs.Metrics.incr m_memo_hit;
          Bdd.adopt man m.me_man;
          m.me_values
-       | Some _ | None -> fst (build pre))
+       | Some _ ->
+         (* recorded build can't serve this check and is displaced below
+            without ever being reused *)
+         Obs.Metrics.incr m_memo_miss;
+         Obs.Metrics.incr m_memo_evict;
+         fst (build pre)
+       | None ->
+         Obs.Metrics.incr m_memo_miss;
+         fst (build pre))
     | None -> fst (build pre)
   in
   let values_post, post_scope = build post in
@@ -962,9 +979,9 @@ let dcret_check ?(options = default_options) net classes =
 (* --- per-pass driver ----------------------------------------------------------- *)
 
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Unix.gettimeofday () in (* lint-waive: nondet/wall-clock — feeds only the record's seconds measurement field, never a verdict *)
   let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+  (v, Unix.gettimeofday () -. t0) (* lint-waive: nondet/wall-clock — measurement only, same as above *)
 
 let check_pass ?(options = default_options) ?memo ~label ~pass ~classes pre post
     =

@@ -132,6 +132,7 @@ type value =
 
 let dump () =
   Mutex.lock lock;
+  (* lint-waive: nondet/hashtbl-order — sorted by name before return. *)
   let items = Hashtbl.fold (fun name i acc -> (name, i) :: acc) registry [] in
   Mutex.unlock lock;
   items
@@ -148,6 +149,7 @@ let dump () =
 
 let reset () =
   Mutex.lock lock;
+  (* lint-waive: nondet/hashtbl-order — zeroing every instrument commutes. *)
   Hashtbl.iter
     (fun _ i ->
       match i with

@@ -33,7 +33,7 @@ let set_clock f = Atomic.set clock_override f
 let now_ns () =
   match Atomic.get clock_override with
   | Some f -> f ()
-  | None -> Int64.of_float (Unix.gettimeofday () *. 1e9)
+  | None -> Int64.of_float (Unix.gettimeofday () *. 1e9) (* lint-waive: nondet/wall-clock — span timestamps only, never results *)
 
 let lock = Mutex.create ()
 let recorded : span list ref = ref []
@@ -58,6 +58,8 @@ let finish_span ~name ~cat ~args ~my_depth ~t0 ~g0 =
   record
     { name;
       cat;
+      (* lint-waive: nondet/domain-id — the track id labels which worker
+         ran the span on the trace timeline; spans never feed results. *)
       track = (Domain.self () :> int);
       depth = my_depth;
       start_ns = t0;
@@ -91,6 +93,7 @@ let instant ?(cat = "mark") ?(args = []) name =
     record
       { name;
         cat;
+        (* lint-waive: nondet/domain-id — timeline track label only. *)
         track = (Domain.self () :> int);
         depth = depth ();
         start_ns = t0;

@@ -119,13 +119,14 @@ let run_suite_timed ?(verify = true) ?(verify_each = false)
           ~args:[ ("circuit", Obs.Trace.Str e.Circuits.Suite.name) ]
           ("row/" ^ e.Circuits.Suite.name)
           (fun () ->
-            let t0 = Unix.gettimeofday () in
+            let t0 = Unix.gettimeofday () in (* lint-waive: nondet/wall-clock — per-row seconds feed only the bench timing report *)
             let net = e.Circuits.Suite.build () in
             let row =
               Core.Flow.run_all ~verify ~verify_each ~eqcheck_each
                 ?eqcheck_options ?resynth_options ~name:e.Circuits.Suite.name
                 net
             in
+            (* lint-waive: nondet/wall-clock — measurement only, as above. *)
             (row, (e.Circuits.Suite.name, Unix.gettimeofday () -. t0))))
       entries
   in

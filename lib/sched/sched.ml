@@ -45,20 +45,28 @@ let oversubscribed ~jobs = jobs > cores ()
 exception Worker_failure of int * exn
 
 (* Scheduler observability: counts vary with [jobs] and scheduling (steals,
-   inline forks), so they are excluded from determinism comparisons — see
-   [Bench] / CI, which compare only semantic metrics. *)
+   inline forks, parks), so they are excluded from determinism comparisons —
+   see [Bench] / CI, which compare only semantic metrics. *)
 let m_forked = Obs.Metrics.counter "parallel.tasks.forked"
 let m_inline = Obs.Metrics.counter "parallel.tasks.inline"
 let m_steals = Obs.Metrics.counter "parallel.steals"
 let m_waits = Obs.Metrics.counter "parallel.joins.waited"
 let m_pools = Obs.Metrics.counter "parallel.pools"
+let m_parked = Obs.Metrics.counter "parallel.sleepers.parked"
+let m_woken = Obs.Metrics.counter "parallel.sleepers.woken"
 
 type 'a state =
   | Pending of (unit -> 'a)
   | Running
   | Done of ('a, exn * Printexc.raw_backtrace) result
 
-type 'a future = 'a state Atomic.t
+(* [sid] is the sanitizer's future uid (0 = untracked, when the sanitizer
+   was disabled at fork time).  It rides along so the single-claim checker
+   can pair the claiming CAS with the completing [Done] store. *)
+type 'a future = {
+  cell : 'a state Atomic.t;
+  sid : int;
+}
 
 type task = Task : 'a future -> task
 
@@ -66,22 +74,24 @@ type task = Task : 'a future -> task
    it (stale deque entry).  The CAS is the only way [Pending] becomes
    [Running], so a task body runs exactly once. *)
 let try_run (Task fut) =
-  match Atomic.get fut with
+  match Atomic.get fut.cell with
   | Running | Done _ -> false
   | Pending f as st ->
-    if Atomic.compare_and_set fut st Running then begin
+    if Atomic.compare_and_set fut.cell st Running then begin
+      if fut.sid <> 0 then Sanitize.Future.claimed ~fut:fut.sid;
       let r =
         match f () with
         | v -> Ok v
         | exception e -> Error (e, Printexc.get_raw_backtrace ())
       in
-      Atomic.set fut (Done r);
+      Atomic.set fut.cell (Done r);
+      if fut.sid <> 0 then Sanitize.Future.completed ~fut:fut.sid;
       true
     end
     else false
 
 type deque = {
-  lock : Mutex.t;
+  lock : Sanitize.Lock.t;
   mutable buf : task array; (* circular, power-of-two capacity *)
   mutable head : int; (* next slot thieves take from (top) *)
   mutable tail : int; (* next slot the owner pushes to (bottom) *)
@@ -92,15 +102,26 @@ type pool = {
   quit : bool Atomic.t;
   pending : int Atomic.t; (* queued-but-unpopped tasks, for the sleep check *)
   sleepers : int Atomic.t;
-  wake_lock : Mutex.t;
+  wake_lock : Sanitize.Lock.t;
   wake : Condition.t;
   mutable domains : unit Domain.t array;
 }
 
-let dummy_task = Task (Atomic.make Running)
+(* lint-waive: mm/mutable-global — never-run deque slot filler: the cell is
+   born [Running] (terminal for a task that is never joined) and no code
+   path mutates or reads it. *)
+let dummy_task = Task { cell = Atomic.make Running; sid = 0 }
 
-let make_deque () =
-  { lock = Mutex.create ();
+(* Lock ranks (documented order: wake < deque — though sched never nests
+   them; both rank below the BDD stripe/cache locks, which BDD operations
+   inside a task may take while a deque lock is *not* held). *)
+let order_wake = 10
+let order_deque = 20
+
+let make_deque i =
+  { lock =
+      Sanitize.Lock.create ~order:order_deque
+        ~name:(Printf.sprintf "sched.deque.%d" i);
     buf = Array.make 64 dummy_task;
     head = 0;
     tail = 0 }
@@ -113,9 +134,9 @@ let ctx_key : (pool * int) option Domain.DLS.key =
 
 let wake_sleepers pool =
   if Atomic.get pool.sleepers > 0 then begin
-    Mutex.lock pool.wake_lock;
+    Sanitize.Lock.lock pool.wake_lock;
     Condition.broadcast pool.wake;
-    Mutex.unlock pool.wake_lock
+    Sanitize.Lock.unlock pool.wake_lock
   end
 
 let grow d =
@@ -127,11 +148,11 @@ let grow d =
   d.buf <- buf'
 
 let push_bottom pool d t =
-  Mutex.lock d.lock;
+  Sanitize.Lock.lock d.lock;
   if d.tail - d.head = Array.length d.buf then grow d;
   d.buf.(d.tail land (Array.length d.buf - 1)) <- t;
   d.tail <- d.tail + 1;
-  Mutex.unlock d.lock;
+  Sanitize.Lock.unlock d.lock;
   Atomic.incr pool.pending;
   (* [pending] is bumped before the sleeper check, and a parking worker
      re-checks [pending] after registering in [sleepers] (both seq-cst), so
@@ -140,7 +161,7 @@ let push_bottom pool d t =
   wake_sleepers pool
 
 let pop_bottom pool d =
-  Mutex.lock d.lock;
+  Sanitize.Lock.lock d.lock;
   let r =
     if d.tail > d.head then begin
       d.tail <- d.tail - 1;
@@ -148,12 +169,12 @@ let pop_bottom pool d =
     end
     else None
   in
-  Mutex.unlock d.lock;
+  Sanitize.Lock.unlock d.lock;
   if r <> None then Atomic.decr pool.pending;
   r
 
 let steal_top pool d =
-  Mutex.lock d.lock;
+  Sanitize.Lock.lock d.lock;
   let r =
     if d.tail > d.head then begin
       let t = d.buf.(d.head land (Array.length d.buf - 1)) in
@@ -162,7 +183,7 @@ let steal_top pool d =
     end
     else None
   in
-  Mutex.unlock d.lock;
+  Sanitize.Lock.unlock d.lock;
   if r <> None then Atomic.decr pool.pending;
   r
 
@@ -188,12 +209,15 @@ let find_task pool wid =
 (* Park until a task is pushed or the pool shuts down.  See [push_bottom]
    for the no-lost-wakeup argument. *)
 let park pool =
-  Mutex.lock pool.wake_lock;
+  Sanitize.Lock.lock pool.wake_lock;
   Atomic.incr pool.sleepers;
-  if Atomic.get pool.pending = 0 && not (Atomic.get pool.quit) then
-    Condition.wait pool.wake pool.wake_lock;
+  if Atomic.get pool.pending = 0 && not (Atomic.get pool.quit) then begin
+    Obs.Metrics.incr m_parked;
+    Sanitize.Lock.wait pool.wake pool.wake_lock;
+    Obs.Metrics.incr m_woken
+  end;
   Atomic.decr pool.sleepers;
-  Mutex.unlock pool.wake_lock
+  Sanitize.Lock.unlock pool.wake_lock
 
 let worker_loop pool wid =
   Domain.DLS.set ctx_key (Some (pool, wid));
@@ -208,7 +232,8 @@ let worker_loop pool wid =
   loop ()
 
 let fork f =
-  let fut = Atomic.make (Pending f) in
+  let sid = if Sanitize.enabled () then Sanitize.Future.fresh () else 0 in
+  let fut = { cell = Atomic.make (Pending f); sid } in
   (match Domain.DLS.get ctx_key with
    | Some (pool, wid) ->
      Obs.Metrics.incr m_forked;
@@ -232,7 +257,7 @@ let fork f =
    thread's wait-for edge follows a real task dependency, and since a task
    can only join futures forked before it, that graph is acyclic. *)
 let rec await fut spins =
-  match Atomic.get fut with
+  match Atomic.get fut.cell with
   | Done r -> r
   | Pending _ ->
     ignore (try_run (Task fut));
@@ -251,11 +276,11 @@ let join fut =
   | Error (e, bt) -> Printexc.raise_with_backtrace e bt
 
 let make_pool jobs =
-  { deques = Array.init jobs (fun _ -> make_deque ());
+  { deques = Array.init jobs make_deque;
     quit = Atomic.make false;
     pending = Atomic.make 0;
     sleepers = Atomic.make 0;
-    wake_lock = Mutex.create ();
+    wake_lock = Sanitize.Lock.create ~order:order_wake ~name:"sched.wake";
     wake = Condition.create ();
     domains = [||] }
 
@@ -280,9 +305,9 @@ let run ?jobs f =
       let finish () =
         Domain.DLS.set ctx_key None;
         Atomic.set pool.quit true;
-        Mutex.lock pool.wake_lock;
+        Sanitize.Lock.lock pool.wake_lock;
         Condition.broadcast pool.wake;
-        Mutex.unlock pool.wake_lock;
+        Sanitize.Lock.unlock pool.wake_lock;
         Array.iter Domain.join pool.domains
       in
       match f () with

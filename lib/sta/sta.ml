@@ -148,6 +148,7 @@ module Incremental = struct
     let outs = N.outputs t.net in
     List.iter (fun (_, n) -> Hashtbl.replace t.po_ids n.N.id ()) outs;
     let latch_data =
+      (* lint-waive: nondet/hashtbl-order — sorted on the next line. *)
       Hashtbl.fold (fun id () acc -> id :: acc) t.latch_ids []
       |> List.sort compare
       |> List.map (fun lid -> (N.latch_data t.net (N.node t.net lid)).N.id)
@@ -255,6 +256,8 @@ module Incremental = struct
       end;
       t.arrival.(id)
     in
+    (* lint-waive: nondet/hashtbl-order — visit order only warms the memo:
+       each arrival/required value is a pure function of the timing DAG. *)
     let pending = Hashtbl.fold (fun id () acc -> id :: acc) stale [] in
     List.iter (fun id -> ignore (value id)) pending
 
@@ -434,6 +437,8 @@ module Incremental = struct
       end;
       t.required.(id)
     in
+    (* lint-waive: nondet/hashtbl-order — visit order only warms the memo:
+       each arrival/required value is a pure function of the timing DAG. *)
     let pending = Hashtbl.fold (fun id () acc -> id :: acc) stale [] in
     List.iter (fun id -> ignore (value id)) pending;
     t.backlog <- []

@@ -129,6 +129,10 @@ let extract_one net ~max_node_cubes =
         (candidates_of_node net n ~max_node_cubes))
     nodes;
   let best = ref None in
+  (* lint-waive: nondet/hashtbl-order — value ties keep the first candidate
+     in table order, which is fixed for a fixed insertion sequence
+     (unseeded hashing, candidates inserted in deterministic node order)
+     and pinned by the suite results. *)
   Hashtbl.iter
     (fun _ d ->
       if lit_count_of_divisor d >= 2 then begin
