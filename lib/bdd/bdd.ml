@@ -154,11 +154,11 @@ type table = {
 (* process-wide monotone stats, across all tables — commutative atomic
    counters: increments from any domain interleave freely, only totals are
    read, and none is an input to any result *)
-let g_allocated = Atomic.make 0 (* lint-waive: mm/mutable-global — commutative atomic stat counter *)
-let g_tables = Atomic.make 0 (* lint-waive: mm/mutable-global — commutative atomic stat counter *)
-let g_scopes = Atomic.make 0 (* lint-waive: mm/mutable-global — commutative atomic stat counter *)
+let g_allocated = Atomic.make 0
+let g_tables = Atomic.make 0
+let g_scopes = Atomic.make 0
 (* scope uids; 0 is the "no owner" cache stamp *)
-let g_uid = Atomic.make 1 (* lint-waive: mm/mutable-global — uid source: unique draws, never compared across runs *)
+let g_uid = Atomic.make 1
 
 (* Lock ranks: the cache registry lock (taken once per domain per table,
    from DLS init) ranks below the stripe locks; neither is ever held while
@@ -216,8 +216,6 @@ let shared_table = make_table ~cache_size:(1 lsl 16) ()
 
 type mode = [ `Shared | `Private ]
 
-(* lint-waive: mm/mutable-global — written once from flow setup (before any
-   scopes exist), then only read; a process-wide default, not shared state. *)
 let g_default_mode : mode Atomic.t = Atomic.make `Shared
 
 let set_default_mode m = Atomic.set g_default_mode m
@@ -909,6 +907,8 @@ let stats () =
     (fun st ->
       capacity := !capacity + (Bigarray.Array1.dim st.s_slots lsr 2);
       load := !load + st.s_count;
+      (* lint-waive: typed/lock-discipline -- racy monitoring read;
+         stats () is offline-only and tolerates a stale count *)
       contention := !contention + st.s_contended;
       grows := !grows + st.s_grows)
     t.stripes;

@@ -1,0 +1,88 @@
+(** Shared plumbing for the two static lint heads — the substring lint
+    ({!Sanlint}) and the typed-AST analyzer ([Typedlint]): the OCaml
+    lexer-subset comment/string stripper and the justified-waiver
+    machinery (in-source [lint-waive] markers plus the [LINT_WAIVERS]
+    file).  Both heads report findings in the {!Sanitize.finding} shape
+    and share one waiver discipline: every suppression carries a
+    justification, and a suppression that stops matching anything is
+    itself a finding, so the waiver set can only shrink. *)
+
+type finding = Sanitize.finding = {
+  rule_id : string;
+  severity : Sanitize.severity;
+  sites : string list;
+  message : string;
+}
+
+val contains : string -> string -> bool
+(** [contains hay needle] — substring test ([false] for the empty
+    needle). *)
+
+val contains_from : string -> int -> string -> int
+(** First index [>= start] where [needle] occurs, or [-1]. *)
+
+(** {1 Comment / string stripping}
+
+    A faithful-enough OCaml lexer subset: nested [(* *)] comments
+    (including strings, [{| |}] / [{id| |id}] quoted strings and char
+    literals {e inside} comments, which the real lexer also balances),
+    double-quoted strings with escapes, quoted strings with identifier
+    delimiters, and char literals (so ['"'] opens no string, in code or
+    in a comment). *)
+
+type lex_state =
+  | Code
+  | Comment of int  (** nesting depth *)
+  | Str of int      (** comment depth to return to; 0 = code *)
+  | Quoted of int * string
+      (** comment depth to return to, delimiter identifier *)
+
+val strip_line : lex_state -> string -> string * lex_state
+(** Strip one line under the given state; non-code bytes are replaced by
+    spaces so column positions survive.  Returns the code-only text and
+    the state at end of line. *)
+
+val strip_lines : string -> string list * string array
+(** Strip a whole file: returns the raw lines and the code-only lines. *)
+
+(** {1 Waivers} *)
+
+val min_reason_len : int
+(** Minimum justification length for any waiver. *)
+
+type line_waiver = {
+  lw_line : int;       (** the marker's own line *)
+  lw_rule : string;
+  lw_covers : int list;  (** lines the waiver suppresses *)
+}
+
+val line_waivers :
+  path:string -> string list -> string array -> line_waiver list * finding list
+(** [line_waivers ~path raw_lines code_lines] finds every in-source
+    [(* lint-waive: <rule> — <justification> *)] marker: a marker sharing
+    its line with code covers exactly that line; a standalone comment
+    covers every line down to (and including) the first following code
+    line.  Unjustified markers come back as [lint/waiver-unjustified]
+    findings. *)
+
+type waiver = {
+  w_rule : string;
+  w_path : string;  (** substring matched against the scanned path *)
+  w_reason : string;
+}
+
+val parse_waivers : string -> waiver list * finding list
+(** Parse a [LINT_WAIVERS] file body (one waiver per line, [#]-comments
+    and blank lines ignored).  Malformed or unjustified lines come back
+    as findings. *)
+
+val used_waivers :
+  waivers:waiver list -> (string * string * string) list -> waiver list
+(** Which file waivers produced at least one suppression
+    ([(path, rule_id, waiver_path)] records) — the complement flags stale
+    [LINT_WAIVERS] entries. *)
+
+val meta_rule_ids : string list
+(** The waiver-discipline rules both heads can emit:
+    [lint/waiver-unjustified], [lint/waiver-unknown-rule],
+    [lint/waiver-unused]. *)

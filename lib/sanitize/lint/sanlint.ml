@@ -1,17 +1,14 @@
-(* Static nondeterminism & memory-model lint.
+(* Static nondeterminism & memory-model lint (substring head).
 
-   Pattern rules over comment- and string-stripped source lines.  The
-   stripper is a faithful-enough OCaml lexer subset: nested (* *) comments
-   (including strings inside comments, which the real lexer also balances),
-   double-quoted strings with escapes, {| |} quoted strings, and char
-   literals (so '"' does not open a string).  Rules then only ever see real
+   Pattern rules over comment- and string-stripped source lines; the
+   stripper and the justified-waiver machinery live in [Lint_common],
+   shared with the typed-AST analyzer.  Rules here only ever see real
    code, which keeps them simple substring checks — deterministic, fast,
    and dependency-free.
 
-   Waivers are part of the report contract: every suppression must carry a
-   justification (in the source next to the site, or in LINT_WAIVERS next
-   to the path), and a suppression that stops matching anything is itself
-   reported, so the waiver set can only shrink. *)
+   The former mm/mutable-global substring rule is retired: its semantic
+   replacement is the typed analyzer's typed/module-escape, which resolves
+   real bindings instead of guessing from allocation tokens. *)
 
 type finding = Sanitize.finding = {
   rule_id : string;
@@ -20,210 +17,16 @@ type finding = Sanitize.finding = {
   message : string;
 }
 
-type waiver = {
+type waiver = Lint_common.waiver = {
   w_rule : string;
   w_path : string;
   w_reason : string;
 }
 
-(* --- tiny string helpers -------------------------------------------------------- *)
-
-let contains_from hay start needle =
-  let nh = String.length hay and nn = String.length needle in
-  let rec go i =
-    if i + nn > nh then -1
-    else if String.sub hay i nn = needle then i
-    else go (i + 1)
-  in
-  if nn = 0 then -1 else go start
-
-let contains hay needle = contains_from hay 0 needle >= 0
-
-let trim = String.trim
-
-(* --- comment / string stripping -------------------------------------------------- *)
-
-type lex_state =
-  | Code
-  | Comment of int  (* nesting depth *)
-  | Str of int      (* a string; payload = comment depth to return to,
-                       0 meaning code *)
-  | Quoted of int   (* a {|...|} quoted string, same payload *)
-
-(* Strip one line under [st]; returns the code-only text (non-code bytes
-   replaced by spaces, so column positions survive) and the state at end of
-   line. *)
-let strip_line st line =
-  let n = String.length line in
-  let out = Bytes.make n ' ' in
-  let rec go st i =
-    if i >= n then st
-    else
-      match st with
-      | Code ->
-        if i + 1 < n && line.[i] = '(' && line.[i + 1] = '*' then
-          go (Comment 1) (i + 2)
-        else if line.[i] = '"' then go (Str 0) (i + 1)
-        else if i + 1 < n && line.[i] = '{' && line.[i + 1] = '|' then
-          go (Quoted 0) (i + 2)
-        else if
-          (* char literal: '\n' / 'x' — must not open a string on '"' *)
-          line.[i] = '\''
-          && ((i + 2 < n && line.[i + 1] <> '\\' && line.[i + 2] = '\'')
-              || (i + 3 < n && line.[i + 1] = '\\' && line.[i + 3] = '\''))
-        then begin
-          (* keep the quotes' width but blank the payload *)
-          let len = if line.[i + 1] = '\\' then 4 else 3 in
-          go Code (i + len)
-        end
-        else begin
-          Bytes.set out i line.[i];
-          go Code (i + 1)
-        end
-      | Comment d ->
-        if i + 1 < n && line.[i] = '(' && line.[i + 1] = '*' then
-          go (Comment (d + 1)) (i + 2)
-        else if i + 1 < n && line.[i] = '*' && line.[i + 1] = ')' then
-          go (if d = 1 then Code else Comment (d - 1)) (i + 2)
-        else if line.[i] = '"' then go (Str d) (i + 1)
-        else go (Comment d) (i + 1)
-      | Str back ->
-        if line.[i] = '\\' then go st (i + 2)
-        else if line.[i] = '"' then
-          go (if back = 0 then Code else Comment back) (i + 1)
-        else go st (i + 1)
-      | Quoted back ->
-        if i + 1 < n && line.[i] = '|' && line.[i + 1] = '}' then
-          go (if back = 0 then Code else Comment back) (i + 2)
-        else go st (i + 1)
-  in
-  let st' = go st 0 in
-  (Bytes.to_string out, st')
-
-(* --- waiver parsing -------------------------------------------------------------- *)
-
-let min_reason_len = 10
-
-(* built by concatenation so this very definition does not read as a
-   waiver when the lint scans its own source *)
-let waiver_marker = "lint-waive" ^ ":"
-
-type line_waiver = {
-  lw_line : int;  (* the marker's own line *)
-  lw_rule : string;
-  lw_covers : int list;  (* lines the waiver suppresses *)
-}
-
-(* How far below its marker a standalone waiver comment may reach while
-   looking for the code line it covers (a justification that wraps over a
-   few comment lines still lands on the site directly below it). *)
-let cover_lookahead = 6
-
-(* in-source waivers: each lint-waive comment, the lines it covers, plus
-   findings for malformed ones.  A marker sharing its line with code
-   covers exactly that line; a standalone comment covers every line down
-   to (and including) the first following code line. *)
-let line_waivers ~path raw_lines code_lines =
-  let waivers = ref [] and probs = ref [] in
-  List.iteri
-    (fun i line ->
-      let lineno = i + 1 in
-      match contains_from line 0 waiver_marker with
-      | -1 -> ()
-      | at ->
-        let rest =
-          trim
-            (String.sub line
-               (at + String.length waiver_marker)
-               (String.length line - at - String.length waiver_marker))
-        in
-        let rule, reason =
-          match String.index_opt rest ' ' with
-          | None -> (rest, "")
-          | Some sp ->
-            ( String.sub rest 0 sp,
-              trim (String.sub rest sp (String.length rest - sp)) )
-        in
-        (* strip a leading em-dash / dash / colon separator *)
-        let reason =
-          let r = reason in
-          let drop p =
-            String.length r >= String.length p
-            && String.sub r 0 (String.length p) = p
-          in
-          if drop "\xe2\x80\x94" then
-            trim (String.sub r 3 (String.length r - 3))
-          else if drop "--" then trim (String.sub r 2 (String.length r - 2))
-          else if drop "-" || drop ":" then
-            trim (String.sub r 1 (String.length r - 1))
-          else r
-        in
-        if String.length reason < min_reason_len then
-          probs :=
-            { rule_id = "lint/waiver-unjustified";
-              severity = Sanitize.Error;
-              sites = [ Printf.sprintf "%s:%d" path lineno ];
-              message =
-                Printf.sprintf
-                  "waiver for %s carries no justification (need >= %d chars \
-                   explaining why the site is legitimate)"
-                  rule min_reason_len }
-            :: !probs
-        else begin
-          let n = Array.length code_lines in
-          let has_code j = j <= n && trim code_lines.(j - 1) <> "" in
-          let covers =
-            if has_code lineno then [ lineno ]
-            else begin
-              let rec down j acc =
-                if j > n || j > lineno + cover_lookahead then List.rev acc
-                else if has_code j then List.rev (j :: acc)
-                else down (j + 1) (j :: acc)
-              in
-              down (lineno + 1) [ lineno ]
-            end
-          in
-          waivers :=
-            { lw_line = lineno; lw_rule = rule; lw_covers = covers }
-            :: !waivers
-        end)
-    raw_lines;
-  (List.rev !waivers, List.rev !probs)
-
-let parse_waivers body =
-  let probs = ref [] and ws = ref [] in
-  List.iteri
-    (fun i line ->
-      let lineno = i + 1 in
-      let line = trim line in
-      if line <> "" && line.[0] <> '#' then begin
-        let parts =
-          String.split_on_char ' ' line
-          |> List.filter (fun s -> s <> "")
-        in
-        match parts with
-        | rule :: path :: (_ :: _ as reason_words)
-          when String.length (String.concat " " reason_words)
-               >= min_reason_len ->
-          ws :=
-            { w_rule = rule;
-              w_path = path;
-              w_reason = String.concat " " reason_words }
-            :: !ws
-        | _ ->
-          probs :=
-            { rule_id = "lint/waiver-unjustified";
-              severity = Sanitize.Error;
-              sites = [ Printf.sprintf "LINT_WAIVERS:%d" lineno ];
-              message =
-                Printf.sprintf
-                  "expected '<rule-id> <path-substring> <justification >= \
-                   %d chars>', got %S"
-                  min_reason_len line }
-            :: !probs
-      end)
-    (String.split_on_char '\n' body);
-  (List.rev !ws, List.rev !probs)
+let contains = Lint_common.contains
+let contains_from = Lint_common.contains_from
+let parse_waivers = Lint_common.parse_waivers
+let used_waivers = Lint_common.used_waivers
 
 (* --- rules ------------------------------------------------------------------------ *)
 
@@ -239,46 +42,12 @@ let has_ambient_random code =
   in
   go 0
 
-(* a top-level [let name = ...] binding mutable state.  A binding with
-   parameters before the [=] is a function — its body allocates per call,
-   which is exactly the fix this rule pushes toward — so only plain value
-   bindings (optionally type-annotated) count. *)
-let is_mutable_global code =
-  String.length code > 4
-  && String.sub code 0 4 = "let "
-  && (match code.[4] with 'a' .. 'z' | '_' -> true | _ -> false)
-  && (match String.index_opt code '=' with
-     | None -> false
-     | Some eq -> (
-       let words =
-         String.split_on_char ' ' (String.sub code 0 eq)
-         |> List.filter (fun w -> w <> "")
-       in
-       match words with
-       | "let" :: _name :: rest -> (
-         match rest with
-         | [] -> true
-         | w :: _ -> String.length w > 0 && w.[0] = ':')
-       | _ -> false))
-  && List.exists (contains code)
-       [ "= ref "; "= ref("; "Atomic.make"; "Hashtbl.create";
-         "Buffer.create"; "Bytes.create"; "Queue.create"; "Stack.create";
-         "Array.make"; "Array.create" ]
-  && not
-       (List.exists (contains code)
-          [ "Obs.Metrics."; "Mutex.create"; "Condition.create";
-            "Domain.DLS"; "Sanitize.Lock." ])
-
 type rule = {
   r_id : string;
   r_applies : path:string -> bool;
   r_hit : string -> bool;  (* on the code-only line *)
   r_message : string;
 }
-
-(* Module-level mutable state is sanctioned inside the two registries that
-   exist to hold it (and are themselves synchronized and commutative). *)
-let sanctioned_state_dirs = [ "lib/obs"; "lib/sanitize" ]
 
 let rules =
   [ { r_id = "nondet/hashtbl-order";
@@ -334,55 +103,34 @@ let rules =
       r_message =
         "naked Atomic.get of a fence-protected field: .published is the \
          publication fence and may only be read as part of the documented \
-         sync-retry protocol" };
-    { r_id = "mm/mutable-global";
-      r_applies =
-        (fun ~path ->
-          not
-            (List.exists
-               (fun d -> contains path d)
-               sanctioned_state_dirs));
-      r_hit = is_mutable_global;
-      r_message =
-        "module-level mutable state outside the sanctioned registries: \
-         process-wide state shared across domains needs an explicit \
-         synchronization argument — add it and waive, or move it into a \
-         registry" }
+         sync-retry protocol" }
   ]
 
 let rule_ids =
   List.sort compare
-    ("lint/waiver-unjustified" :: "lint/waiver-unused"
-    :: "lint/waiver-unknown-rule"
-    :: List.map (fun r -> r.r_id) rules)
+    (Lint_common.meta_rule_ids @ List.map (fun r -> r.r_id) rules)
 
 (* --- file scan -------------------------------------------------------------------- *)
 
-let scan_file ?(waivers = []) ~path content =
-  let raw_lines = String.split_on_char '\n' content in
-  let code_lines =
-    let st = ref Code in
-    Array.of_list
-      (List.map
-         (fun raw ->
-           let code, st' = strip_line !st raw in
-           st := st';
-           code)
-         raw_lines)
+let scan_file ?(foreign_rules = []) ?(waivers = []) ~path content =
+  let raw_lines, code_lines = Lint_common.strip_lines content in
+  let lws, waiver_probs =
+    Lint_common.line_waivers ~path raw_lines code_lines
   in
-  let lws, waiver_probs = line_waivers ~path raw_lines code_lines in
+  let known w = List.mem w rule_ids || List.mem w foreign_rules in
   let waiver_probs =
     waiver_probs
     @ List.filter_map
         (fun w ->
-          if List.mem w.lw_rule rule_ids then None
+          if known w.Lint_common.lw_rule then None
           else
             Some
               { rule_id = "lint/waiver-unknown-rule";
                 severity = Sanitize.Error;
-                sites = [ Printf.sprintf "%s:%d" path w.lw_line ];
+                sites = [ Printf.sprintf "%s:%d" path w.Lint_common.lw_line ];
                 message =
-                  Printf.sprintf "waiver names unknown rule %S" w.lw_rule })
+                  Printf.sprintf "waiver names unknown rule %S"
+                    w.Lint_common.lw_rule })
         lws
   in
   let findings = ref [] and file_suppressed = ref [] in
@@ -396,7 +144,8 @@ let scan_file ?(waivers = []) ~path content =
             match
               List.find_opt
                 (fun w ->
-                  w.lw_rule = r.r_id && List.mem lineno w.lw_covers)
+                  w.Lint_common.lw_rule = r.r_id
+                  && List.mem lineno w.Lint_common.lw_covers)
                 lws
             with
             | Some w ->
@@ -421,20 +170,25 @@ let scan_file ?(waivers = []) ~path content =
         rules)
     code_lines;
   (* an in-source waiver that suppressed nothing is stale — waivers may
-     only shrink, never linger past the code they excused *)
+     only shrink, never linger past the code they excused.  Waivers naming
+     a foreign rule (the typed analyzer's) are not ours to judge: that
+     head checks their staleness itself. *)
   let stale =
     List.filter_map
       (fun w ->
-        if (not (List.mem w.lw_rule rule_ids)) || List.memq w !used_lws
+        if
+          (not (List.mem w.Lint_common.lw_rule rule_ids))
+          || List.memq w !used_lws
         then None
         else
           Some
             { rule_id = "lint/waiver-unused";
               severity = Sanitize.Error;
-              sites = [ Printf.sprintf "%s:%d" path w.lw_line ];
+              sites = [ Printf.sprintf "%s:%d" path w.Lint_common.lw_line ];
               message =
                 Printf.sprintf
-                  "waiver for %s suppresses nothing — remove it" w.lw_rule })
+                  "waiver for %s suppresses nothing — remove it"
+                  w.Lint_common.lw_rule })
       lws
   in
   let out =
@@ -443,11 +197,3 @@ let scan_file ?(waivers = []) ~path content =
       (waiver_probs @ stale @ !findings)
   in
   (out, !file_suppressed)
-
-let used_waivers ~waivers suppressed =
-  List.filter
-    (fun w ->
-      List.exists
-        (fun (_, rule, wpath) -> rule = w.w_rule && wpath = w.w_path)
-        suppressed)
-    waivers

@@ -1,11 +1,12 @@
-(** Static nondeterminism & memory-model lint (the sanitizer's second head).
+(** Static nondeterminism & memory-model lint (the sanitizer's substring
+    head).
 
     A small pattern rule engine over OCaml source: each file is stripped of
-    comments and string literals, then every rule scans the remaining code
-    lines for constructs that make flow output scheduling- or
-    address-dependent, or that sidestep the documented memory-model
-    protocols.  Rules (all [Error] severity; ids reuse the [Verify] /
-    {!Sanitize} diagnostic shape):
+    comments and string literals (see {!Lint_common}), then every rule
+    scans the remaining code lines for constructs that make flow output
+    scheduling- or address-dependent, or that sidestep the documented
+    memory-model protocols.  Rules (all [Error] severity; ids reuse the
+    [Verify] / {!Sanitize} diagnostic shape):
 
     - [nondet/hashtbl-order] — [Hashtbl.iter]/[fold]/[to_seq]: unordered
       iteration feeding anything downstream.  Lines that sort on the spot
@@ -22,22 +23,18 @@
     - [mm/naked-atomic-get] — [Atomic.get] of a field documented as
       fence-protected ([.published]): reading it without the paired
       protocol is a memory-model hazard.
-    - [mm/mutable-global] — module-level mutable state ([ref],
-      [Atomic.make], [Hashtbl.create], ...) outside the sanctioned
-      registries ([lib/obs], [lib/sanitize]); ad-hoc process-wide state is
-      where cross-domain races breed.  Synchronization primitives
-      ([Mutex.create], [Condition.create]), [Domain.DLS] keys and
-      [Obs.Metrics] instruments are exempt by design.
 
-    Waivers: a finding is suppressed by a justified in-source comment
+    The former [mm/mutable-global] substring rule is {e retired}: the
+    typed analyzer's [typed/module-escape] resolves real bindings, guard
+    locks and reachability instead of guessing from allocation tokens.
+
+    Waivers follow the shared discipline of {!Lint_common}: a finding is
+    suppressed by a justified in-source comment
     [(* lint-waive: <rule-id> — <justification> *)] trailing the offending
-    line, or standing directly above it (a standalone waiver comment
-    covers every line down to the first following code line, so a wrapped
-    justification still reaches its site), or by a [LINT_WAIVERS] file
-    line [<rule-id> <path-substring> <justification>].  A waiver without a
+    line or standing directly above it, or by a [LINT_WAIVERS] file line
+    [<rule-id> <path-substring> <justification>].  A waiver without a
     justification is itself a finding ([lint/waiver-unjustified]), and so
-    is any waiver — in-source or file-level — that suppresses nothing
-    ([lint/waiver-unused]). *)
+    is any waiver that suppresses nothing ([lint/waiver-unused]). *)
 
 type finding = Sanitize.finding = {
   rule_id : string;
@@ -47,20 +44,20 @@ type finding = Sanitize.finding = {
 }
 
 val rule_ids : string list
-(** Every rule id the engine can emit, sorted. *)
+(** Every rule id this head can emit, sorted (includes the shared
+    waiver-discipline meta rules). *)
 
-type waiver = {
+type waiver = Lint_common.waiver = {
   w_rule : string;
   w_path : string;      (** substring matched against the scanned path *)
   w_reason : string;
 }
 
 val parse_waivers : string -> waiver list * finding list
-(** Parse a [LINT_WAIVERS] file body (one waiver per line,
-    [#]-comments and blank lines ignored).  Malformed or unjustified lines
-    come back as findings. *)
+(** Re-export of {!Lint_common.parse_waivers}. *)
 
 val scan_file :
+  ?foreign_rules:string list ->
   ?waivers:waiver list ->
   path:string ->
   string ->
@@ -69,9 +66,12 @@ val scan_file :
     rule then site) and, for each finding a file-level waiver suppressed,
     a [(path, rule_id, waiver_path)] record.  [path] appears in sites and
     is matched against file-level waivers; in-source line waivers suppress
-    silently (their justification lives at the site). *)
+    silently (their justification lives at the site).
+
+    [foreign_rules] names rule ids owned by another lint head (the typed
+    analyzer): waivers naming them are neither unknown-rule findings nor
+    checked for staleness here — their owner judges them. *)
 
 val used_waivers :
   waivers:waiver list -> (string * string * string) list -> waiver list
-(** Which file waivers produced at least one suppression — the complement
-    flags stale [LINT_WAIVERS] entries. *)
+(** Re-export of {!Lint_common.used_waivers}. *)

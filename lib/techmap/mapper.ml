@@ -280,8 +280,8 @@ let cover_tree net lib objective =
    and turned into a gauge by [publish_stats]. *)
 let m_maps_delay = Obs.Metrics.counter "techmap.maps.min_delay"
 let m_maps_area = Obs.Metrics.counter "techmap.maps.min_area"
-let total_cells = Atomic.make 0 (* lint-waive: mm/mutable-global — commutative atomic total, published as a gauge *)
-let total_area_milli = Atomic.make 0 (* lint-waive: mm/mutable-global — commutative atomic total, published as a gauge *)
+let total_cells = Atomic.make 0
+let total_area_milli = Atomic.make 0
 
 let record_stats out ~lib ~objective =
   if Obs.Metrics.enabled () then begin

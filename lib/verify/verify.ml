@@ -610,14 +610,14 @@ let instrument ~label =
 (* --- debug assertions ----------------------------------------------------------- *)
 
 let debug_flag =
-  ref
+  Atomic.make
     (match Sys.getenv_opt "VERIFY_DEBUG" with
      | Some "" | Some "0" | None -> false
      | Some _ -> true)
 
-let set_debug b = debug_flag := b
+let set_debug b = Atomic.set debug_flag b
 
-let debug_enabled () = !debug_flag
+let debug_enabled () = Atomic.get debug_flag
 
 let debug_check ~label net =
-  if !debug_flag then expect_clean ~label ~pass:"debug-assert" net
+  if Atomic.get debug_flag then expect_clean ~label ~pass:"debug-assert" net

@@ -1,0 +1,433 @@
+(* Typed-AST analyzer (semantic lint head).
+
+   Each mutation test compiles a small self-contained source to a .cmt
+   (ocamlc -bin-annot in a temp dir) with a stub [Core.Parallel] whose
+   paths match the real scheduler re-export, seeds exactly one isolation
+   violation — a forked thunk capturing a naked ref, a mutable field
+   accessed under the wrong (or no) lock, a Condition.wait inside a task
+   body, an entry-reachable module-level Hashtbl — and asserts the
+   intended rule id fires.  Control twins route the same state through
+   Atomic / Mutex.protect / a consistent lock and must scan clean.  The
+   qcheck property generates random *pure* closures, forks them at jobs
+   1/2/4, and asserts the analyzer never reports (no false positives).
+   Waiver tests cover the shared justified-waiver discipline: trailing
+   suppression, file-level LINT_WAIVERS entries, and staleness. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* compile [src] as mutant.ml in a fresh temp dir; return (dir, cmt path) *)
+let compile src =
+  let dir = Filename.temp_dir "typedlint_test" "" in
+  let ml = Filename.concat dir "mutant.ml" in
+  let oc = open_out ml in
+  output_string oc src;
+  close_out oc;
+  let rc =
+    Sys.command
+      (Printf.sprintf
+         "cd %s && ocamlc -c -bin-annot -w -a mutant.ml 2>mutant.err"
+         (Filename.quote dir))
+  in
+  if rc <> 0 then
+    Alcotest.failf "mutant failed to compile (rc %d):\n%s\n--- source ---\n%s"
+      rc
+      (read_file (Filename.concat dir "mutant.err"))
+      src;
+  (dir, Filename.concat dir "mutant.cmt")
+
+let scan ?entry_points ?waivers src =
+  let dir, cmt = compile src in
+  let config =
+    { Typedlint.default_config with
+      source_root = dir;
+      entry_points =
+        (match entry_points with
+         | Some eps -> eps
+         | None -> Typedlint.default_config.entry_points) }
+  in
+  Typedlint.scan_cmt_files ~config ?waivers [ cmt ]
+
+let rules r =
+  List.sort_uniq compare
+    (List.map (fun f -> f.Sanitize.rule_id) r.Typedlint.findings)
+
+let check_rules msg expected r =
+  Alcotest.(check (list string)) msg expected (rules r)
+
+(* a fork/join stub whose dotted paths match the real Core.Parallel
+   re-export, so mutants stay hermetic from the repo libraries *)
+let stub =
+  "module Core = struct\n\
+  \  module Parallel = struct\n\
+  \    let fork f = f\n\
+  \    let join t = t ()\n\
+  \    let map f a = Array.map f a\n\
+  \    let map_list f l = List.map f l\n\
+  \    let run ~jobs:_ f = f ()\n\
+  \  end\n\
+   end\n"
+
+(* --- rule 1: capture / escape ------------------------------------------------------ *)
+
+let test_capture_naked_ref () =
+  let r =
+    scan
+      (stub
+     ^ "let leak () =\n\
+       \  let counter = ref 0 in\n\
+       \  let t = Core.Parallel.fork (fun () -> incr counter) in\n\
+       \  Core.Parallel.join t;\n\
+       \  !counter\n")
+  in
+  check_rules "captured naked ref is caught" [ "typed/capture-escape" ] r;
+  Alcotest.(check bool)
+    "fired tally records the rule" true
+    (List.mem_assoc "typed/capture-escape" r.Typedlint.rules_fired)
+
+let test_capture_hashtbl_in_map () =
+  let r =
+    scan
+      (stub
+     ^ "let tally xs =\n\
+       \  let seen = Hashtbl.create 16 in\n\
+       \  Core.Parallel.map_list (fun x -> Hashtbl.replace seen x (); x) xs\n")
+  in
+  check_rules "captured Hashtbl in map_list thunk"
+    [ "typed/capture-escape" ] r
+
+let test_capture_field_write () =
+  let r =
+    scan
+      (stub
+     ^ "type cell = { mutable n : int }\n\
+        let bump c =\n\
+       \  let t = Core.Parallel.fork (fun () -> c.n <- c.n + 1) in\n\
+       \  Core.Parallel.join t\n")
+  in
+  Alcotest.(check bool)
+    "mutable field write of captured value is caught" true
+    (List.mem "typed/capture-escape" (rules r))
+
+let test_capture_controls_clean () =
+  (* pure closure *)
+  check_rules "pure closure" []
+    (scan
+       (stub
+      ^ "let go () =\n\
+        \  let t = Core.Parallel.fork (fun () -> 1 + 2) in\n\
+        \  Core.Parallel.join t\n"));
+  (* Atomic-routed counter *)
+  check_rules "Atomic counter" []
+    (scan
+       (stub
+      ^ "let go () =\n\
+        \  let c = Atomic.make 0 in\n\
+        \  let t = Core.Parallel.fork (fun () -> Atomic.incr c) in\n\
+        \  Core.Parallel.join t;\n\
+        \  Atomic.get c\n"));
+  (* Mutex.protect-guarded section inside the thunk *)
+  check_rules "Mutex.protect-guarded capture" []
+    (scan
+       (stub
+      ^ "let go () =\n\
+        \  let m = Mutex.create () in\n\
+        \  let acc = ref 0 in\n\
+        \  let t =\n\
+        \    Core.Parallel.fork (fun () -> Mutex.protect m (fun () -> incr \
+         acc))\n\
+        \  in\n\
+        \  Core.Parallel.join t\n"))
+
+(* --- rule 2: lock discipline ------------------------------------------------------- *)
+
+let test_lock_discipline_empty_set () =
+  let r =
+    scan
+      (stub
+     ^ "type s = { lock : Mutex.t; mutable v : int }\n\
+        let bump s = Mutex.lock s.lock; s.v <- s.v + 1; Mutex.unlock s.lock\n\
+        let sneak s = s.v <- s.v + 1\n")
+  in
+  check_rules "unlocked access to a guarded field"
+    [ "typed/lock-discipline" ] r;
+  Alcotest.(check bool)
+    "the unlocked site is the primary site" true
+    (match r.Typedlint.findings with
+     | f :: _ ->
+       List.exists
+         (fun site -> site = "mutant.ml:12")
+         f.Sanitize.sites
+     | [] -> false)
+
+let test_lock_discipline_wrong_lock () =
+  let r =
+    scan
+      (stub
+     ^ "type s = { l1 : Mutex.t; l2 : Mutex.t; mutable v : int }\n\
+        let a s = Mutex.lock s.l1; s.v <- s.v + 1; Mutex.unlock s.l1\n\
+        let b s = Mutex.lock s.l2; s.v <- s.v + 1; Mutex.unlock s.l2\n")
+  in
+  check_rules "disjoint lock sets on one field"
+    [ "typed/lock-discipline" ] r
+
+let test_lock_discipline_consistent_clean () =
+  check_rules "consistently guarded field" []
+    (scan
+       (stub
+      ^ "type s = { lock : Mutex.t; mutable v : int }\n\
+         let bump s = Mutex.lock s.lock; s.v <- s.v + 1; Mutex.unlock s.lock\n\
+         let read s = Mutex.protect s.lock (fun () -> s.v)\n"));
+  (* never-locked fields are not the analyzer's business (no seed) *)
+  check_rules "unseeded field stays quiet" []
+    (scan
+       (stub
+      ^ "type s = { mutable v : int }\n\
+         let bump s = s.v <- s.v + 1\n"))
+
+(* --- rule 3: module-level escape --------------------------------------------------- *)
+
+let test_module_escape_global_hashtbl () =
+  let src =
+    stub
+    ^ "let cache : (int, int) Hashtbl.t = Hashtbl.create 16\n\
+       let main () = Hashtbl.replace cache 1 2\n"
+  in
+  let r = scan ~entry_points:[ "Mutant.main" ] src in
+  check_rules "entry-reachable global Hashtbl" [ "typed/module-escape" ] r;
+  Alcotest.(check bool)
+    "finding names the global" true
+    (match r.Typedlint.findings with
+     | f :: _ -> String.length f.Sanitize.message > 0
+     | [] -> false);
+  (* same unit, no entry point: unreachable state is not reported *)
+  check_rules "unreachable unit stays quiet" [] (scan src)
+
+let test_module_escape_guarded_clean () =
+  check_rules "lock-guarded global is sanctioned" []
+    (scan ~entry_points:[ "Mutant.main" ]
+       (stub
+      ^ "let gm = Mutex.create ()\n\
+         let cache : (int, int) Hashtbl.t = Hashtbl.create 16\n\
+         let main () =\n\
+        \  Mutex.lock gm;\n\
+        \  Hashtbl.replace cache 1 2;\n\
+        \  Mutex.unlock gm\n"));
+  check_rules "Atomic global is sanctioned" []
+    (scan ~entry_points:[ "Mutant.main" ]
+       (stub
+      ^ "let total = Atomic.make 0\n\
+         let main () = Atomic.incr total\n"));
+  check_rules "DLS-keyed state is sanctioned" []
+    (scan ~entry_points:[ "Mutant.main" ]
+       (stub
+      ^ "let buf = Domain.DLS.new_key (fun () -> Buffer.create 64)\n\
+         let main () = Buffer.add_char (Domain.DLS.get buf) 'x'\n"))
+
+(* --- rule 4: blocking call in a task body ------------------------------------------ *)
+
+let test_blocking_condition_wait () =
+  let r =
+    scan
+      (stub
+     ^ "let m = Mutex.create ()\n\
+        let cv = Condition.create ()\n\
+        let go () =\n\
+       \  let t =\n\
+       \    Core.Parallel.fork (fun () ->\n\
+       \        Mutex.lock m;\n\
+       \        Condition.wait cv m;\n\
+       \        Mutex.unlock m)\n\
+       \  in\n\
+       \  Core.Parallel.join t\n")
+  in
+  Alcotest.(check bool)
+    "Condition.wait in a task is caught" true
+    (List.mem "typed/blocking-in-task" (rules r));
+  Alcotest.(check bool)
+    "the message names the blocking call" true
+    (List.exists
+       (fun f ->
+         f.Sanitize.rule_id = "typed/blocking-in-task"
+         && String.length f.Sanitize.message > 0)
+       r.Typedlint.findings)
+
+let test_blocking_through_helper () =
+  let r =
+    scan
+      (stub
+     ^ "let helper () = ignore (read_line ())\n\
+        let go () =\n\
+       \  let t = Core.Parallel.fork (fun () -> helper ()) in\n\
+       \  Core.Parallel.join t\n")
+  in
+  check_rules "blocking reached through a same-unit helper"
+    [ "typed/blocking-in-task" ] r
+
+let test_blocking_outside_task_clean () =
+  (* blocking calls outside fork bodies are legitimate *)
+  check_rules "blocking outside tasks is fine" []
+    (scan
+       (stub
+      ^ "let m = Mutex.create ()\n\
+         let go () = Mutex.lock m; Mutex.unlock m\n"))
+
+(* --- waiver discipline -------------------------------------------------------------- *)
+
+let capture_mutant_with mark =
+  stub
+  ^ "let leak () =\n\
+    \  let counter = ref 0 in\n\
+    \  let t = Core.Parallel.fork (fun () -> incr counter" ^ mark
+  ^ ") in\n\
+    \  Core.Parallel.join t\n"
+
+let test_waiver_trailing_honored () =
+  let r =
+    scan
+      (capture_mutant_with
+         " (* lint-waive: typed/capture-escape -- test fixture: counter \
+          is joined before any read *)")
+  in
+  check_rules "trailing waiver suppresses" [] r;
+  Alcotest.(check bool) "honored tally counts it" true
+    (r.Typedlint.waivers_honored > 0)
+
+let test_waiver_stale () =
+  let r =
+    scan
+      (stub
+     ^ "(* lint-waive: typed/capture-escape -- leftover justification \
+        kept after the fix landed *)\n\
+        let pure () = 1 + 2\n")
+  in
+  check_rules "stale typed waiver is itself a finding"
+    [ "lint/waiver-unused" ] r
+
+let test_waiver_file_level () =
+  let waivers =
+    [ { Lint_common.w_rule = "typed/capture-escape";
+        w_path = "mutant.ml";
+        w_reason = "fixture: suppressed at file scope for the test" } ]
+  in
+  let r = scan ~waivers (capture_mutant_with "") in
+  check_rules "file-level waiver suppresses" [] r;
+  Alcotest.(check bool) "suppression recorded for staleness audit" true
+    (r.Typedlint.suppressed <> [])
+
+(* --- property: no false positives on pure closures --------------------------------- *)
+
+(* random pure expressions: ints, + and *, let-bound locals, list folds *)
+let gen_pure_expr =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then map string_of_int (int_range 0 99)
+           else
+             frequency
+               [ (1, map string_of_int (int_range 0 99));
+                 ( 2,
+                   map2
+                     (fun a b -> Printf.sprintf "(%s + %s)" a b)
+                     (self (n / 2)) (self (n / 2)) );
+                 ( 2,
+                   map2
+                     (fun a b -> Printf.sprintf "(%s * %s)" a b)
+                     (self (n / 2)) (self (n / 2)) );
+                 ( 1,
+                   map2
+                     (fun a b ->
+                       Printf.sprintf "(let x = %s in x + %s)" a b)
+                     (self (n / 2)) (self (n / 2)) );
+                 ( 1,
+                   map
+                     (fun a ->
+                       Printf.sprintf
+                         "(List.fold_left ( + ) 0 [ %s; 1; 2 ])" a)
+                     (self (n / 2)) ) ]))
+
+let arb_pure_expr =
+  QCheck.make ~print:(fun s -> s) (QCheck.Gen.map (fun s -> s) gen_pure_expr)
+
+let qcheck_pure_closures_clean =
+  QCheck.Test.make ~count:12 ~name:"typedlint: pure forked closures scan clean"
+    arb_pure_expr (fun body ->
+      List.for_all
+        (fun jobs ->
+          let src =
+            stub
+            ^ Printf.sprintf
+                "let main () =\n\
+                \  Core.Parallel.run ~jobs:%d (fun () ->\n\
+                \      let t = Core.Parallel.fork (fun () -> %s) in\n\
+                \      let a = Core.Parallel.map (fun i -> i + %s) [| 1; 2 \
+                 |] in\n\
+                \      Core.Parallel.join t + a.(0))\n"
+                jobs body body
+          in
+          rules (scan ~entry_points:[ "Mutant.main" ] src) = [])
+        [ 1; 2; 4 ])
+
+(* --- plumbing ----------------------------------------------------------------------- *)
+
+let test_rule_ids_and_stats () =
+  Alcotest.(check (list string))
+    "rule inventory"
+    [ "typed/blocking-in-task"; "typed/capture-escape";
+      "typed/lock-discipline"; "typed/module-escape" ]
+    Typedlint.rule_ids;
+  let r = scan (capture_mutant_with "") in
+  Alcotest.(check int) "one unit scanned" 1 r.Typedlint.files_scanned;
+  Obs.Metrics.enable ();
+  Obs.Metrics.reset ();
+  Typedlint.publish_stats r;
+  Alcotest.(check (float 0.0))
+    "files_scanned gauge" 1.0
+    (Obs.Metrics.gauge_value (Obs.Metrics.gauge "typedlint.files_scanned"));
+  Alcotest.(check bool) "findings gauge set" true
+    (Obs.Metrics.gauge_value (Obs.Metrics.gauge "typedlint.findings") >= 1.0);
+  Obs.Metrics.disable ()
+
+let () =
+  Alcotest.run "typedlint"
+    [ ( "capture-escape",
+        [ Alcotest.test_case "naked ref" `Quick test_capture_naked_ref;
+          Alcotest.test_case "hashtbl in map_list" `Quick
+            test_capture_hashtbl_in_map;
+          Alcotest.test_case "field write" `Quick test_capture_field_write;
+          Alcotest.test_case "controls clean" `Quick
+            test_capture_controls_clean ] );
+      ( "lock-discipline",
+        [ Alcotest.test_case "empty lock set" `Quick
+            test_lock_discipline_empty_set;
+          Alcotest.test_case "wrong lock" `Quick
+            test_lock_discipline_wrong_lock;
+          Alcotest.test_case "consistent clean" `Quick
+            test_lock_discipline_consistent_clean ] );
+      ( "module-escape",
+        [ Alcotest.test_case "global hashtbl" `Quick
+            test_module_escape_global_hashtbl;
+          Alcotest.test_case "guarded clean" `Quick
+            test_module_escape_guarded_clean ] );
+      ( "blocking-in-task",
+        [ Alcotest.test_case "condition wait" `Quick
+            test_blocking_condition_wait;
+          Alcotest.test_case "through helper" `Quick
+            test_blocking_through_helper;
+          Alcotest.test_case "outside task clean" `Quick
+            test_blocking_outside_task_clean ] );
+      ( "waivers",
+        [ Alcotest.test_case "trailing honored" `Quick
+            test_waiver_trailing_honored;
+          Alcotest.test_case "stale" `Quick test_waiver_stale;
+          Alcotest.test_case "file level" `Quick test_waiver_file_level ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest qcheck_pure_closures_clean ] );
+      ( "plumbing",
+        [ Alcotest.test_case "rule ids + metrics" `Quick
+            test_rule_ids_and_stats ] )
+    ]
