@@ -814,6 +814,83 @@ let eqcheck_bench ?(emit_json = true) ?names () =
         ("unknown", float_of_int unknown) ];
   overhead
 
+(* --- serve round-trip --------------------------------------------------------------- *)
+
+(* Cold vs warm request through the in-process serving engine: the same
+   benchmark twice on one engine.  The first request parses/builds the
+   circuit into the engine's pristine cache and populates the shared BDD
+   unique table; the second copies the cached network and rebuilds its BDDs
+   onto already-interned nodes.  The two result payloads must be
+   byte-identical — warmth may only change latency and allocation, never
+   output. *)
+let serve_bench ?(emit_json = true) () =
+  section "serve: cold vs warm round-trip (in-process engine, jobs 2)";
+  Obs.Metrics.enable ();
+  let counter_delta name delta =
+    match List.assoc_opt name delta with
+    | Some (Obs.Metrics.Counter n) -> n
+    | _ -> 0
+  in
+  let cold, warm =
+    Core.Parallel.run ~jobs:2 (fun () ->
+        let eng = Serve.Engine.create () in
+        let round id =
+          let snap = Obs.Metrics.snapshot () in
+          let bdd0 = Bdd.total_allocated () in
+          let t0 = Unix.gettimeofday () in
+          let reply =
+            Serve.Engine.submit eng ~id:(Some id)
+              (Serve.Protocol.Benchmark "s27")
+              Serve.Protocol.default_submit_options
+          in
+          (match Serve.Json.mem_bool "ok" reply with
+           | Some true -> ()
+           | _ -> failwith ("serve bench: submit rejected: "
+                            ^ Serve.Json.to_string reply));
+          Serve.Engine.drain eng;
+          let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          let delta = Obs.Metrics.delta snap in
+          let payload =
+            match Serve.Json.member "result" (Serve.Engine.result eng id) with
+            | Some p -> Serve.Json.to_string p
+            | None -> failwith "serve bench: request did not complete"
+          in
+          ( payload,
+            ms,
+            Bdd.total_allocated () - bdd0,
+            counter_delta "serve.cache.hits" delta,
+            counter_delta "serve.cache.misses" delta )
+        in
+        let cold = round "cold" in
+        (cold, round "warm"))
+  in
+  let p_cold, cold_ms, cold_bdd, cold_hits, cold_misses = cold in
+  let p_warm, warm_ms, warm_bdd, warm_hits, warm_misses = warm in
+  let identical = p_cold = p_warm in
+  Printf.printf
+    "  cold: %7.1f ms  %8d BDD nodes allocated  cache %d hit / %d miss\n"
+    cold_ms cold_bdd cold_hits cold_misses;
+  Printf.printf
+    "  warm: %7.1f ms  %8d BDD nodes allocated  cache %d hit / %d miss\n"
+    warm_ms warm_bdd warm_hits warm_misses;
+  Printf.printf "  result payloads byte-identical: %b\n" identical;
+  if not identical then
+    failwith "serve bench: warm result diverged from cold result";
+  if emit_json then
+    emit_bench ~file:"BENCH_serve.json" ~prefix:"bench.serve"
+      ~title:"daemon engine round-trip: cold vs warm request (s27)"
+      ~unit:"ms"
+      [ ("cold_ms", cold_ms);
+        ("warm_ms", warm_ms);
+        ("speedup", if warm_ms > 0.0 then cold_ms /. warm_ms else 0.0);
+        ("cold_bdd_allocated", float_of_int cold_bdd);
+        ("warm_bdd_allocated", float_of_int warm_bdd);
+        ("cold_cache_hits", float_of_int cold_hits);
+        ("cold_cache_misses", float_of_int cold_misses);
+        ("warm_cache_hits", float_of_int warm_hits);
+        ("warm_cache_misses", float_of_int warm_misses);
+        ("byte_identical", if identical then 1.0 else 0.0) ]
+
 (* --- 4. Bechamel kernels ------------------------------------------------------------ *)
 
 let bechamel_kernels () =
@@ -943,6 +1020,7 @@ let () =
   let verifier_only = List.mem "--verifier" args in
   let eqcheck_only = List.mem "--eqcheck" args in
   let bdd_only = List.mem "--bdd" args in
+  let serve_only = List.mem "--serve" args in
   let eqcheck_each = List.mem "--eqcheck-each" args in
   let verify_each = List.mem "--verify-each" args in
   let quick = List.mem "--quick" args in
@@ -987,6 +1065,7 @@ let () =
      else if verifier_only then " (verifier)"
      else if eqcheck_only then " (eqcheck)"
      else if bdd_only then " (bdd)"
+     else if serve_only then " (serve)"
      else "");
   if sta_only then
     ignore (sta_bench ~circuits:[ "s641"; "s1196"; "s1238"; "s5378" ] ())
@@ -998,6 +1077,7 @@ let () =
   else if verifier_only then ignore (verifier_bench ?names ())
   else if eqcheck_only then ignore (eqcheck_bench ?names ())
   else if bdd_only then ignore (bdd_bench ~quick ~jobs ())
+  else if serve_only then serve_bench ()
   else if smoke then begin
     (* CI-sized pass: the Section III example end to end plus the STA
        comparison on a small circuit; no JSON, no Bechamel quotas *)
@@ -1017,6 +1097,7 @@ let () =
     ignore (verifier_bench ());
     ignore (eqcheck_bench ());
     ignore (bdd_bench ~jobs ());
+    serve_bench ();
     bechamel_kernels ();
     Printf.printf "\ndone.\n"
   end;

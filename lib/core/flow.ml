@@ -71,7 +71,7 @@ let resynthesis_flow ?(options = Resynth.default_options)
   else Error outcome.Resynth.note
 
 let run_all ?(verify = true) ?(verify_each = false) ?(eqcheck_each = false)
-    ?eqcheck_options
+    ?eqcheck_options ?(ins = Verify.no_instrument)
     ?(lib = Techmap.Genlib.mcnc_lite)
     ?(resynth_options = Resynth.default_options) ~name net =
   Obs.Trace.span ~cat:"flow"
@@ -87,7 +87,10 @@ let run_all ?(verify = true) ?(verify_each = false) ?(eqcheck_each = false)
       Eqcheck.instrument ?options:eqcheck_options ~label:name eq_records
     else (Verify.no_instrument, (fun _ -> ()), fun () -> ())
   in
-  let ins = Verify.compose verify_ins eq_ins in
+  (* caller-supplied instrument first: the serving daemon injects its
+     cancellation / deadline check here, so a cancel takes effect at the next
+     pass boundary before any verifier work runs *)
+  let ins = Verify.compose ins (Verify.compose verify_ins eq_ins) in
   eq_seed net;
   let mapped =
     Obs.Trace.span ~cat:"flow" "script.delay" (fun () ->

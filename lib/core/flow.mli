@@ -59,7 +59,8 @@ val resynthesis_flow :
 
 val run_all :
   ?verify:bool -> ?verify_each:bool -> ?eqcheck_each:bool ->
-  ?eqcheck_options:Eqcheck.options -> ?lib:Techmap.Genlib.t ->
+  ?eqcheck_options:Eqcheck.options -> ?ins:Verify.instrument ->
+  ?lib:Techmap.Genlib.t ->
   ?resynth_options:Resynth.options ->
   name:string -> Netlist.Network.t -> row
 (** Run the three flows on one circuit and collect a Table I row.
@@ -69,4 +70,7 @@ val run_all :
     the diagnostics.  [eqcheck_each] (default false) additionally runs the
     semantic equivalence analyzer ({!Eqcheck.check_pass}) at every pass
     boundary, collecting per-pass Proved / Refuted / Unknown verdicts in the
-    row instead of raising. *)
+    row instead of raising.  [ins] is an extra caller instrument composed
+    {e before} the built-in ones; its checkpoint fires first at every pass
+    boundary of every flow (the serving daemon uses this for cooperative
+    cancellation and deadline checks). *)

@@ -54,6 +54,18 @@ let metrics_json ?(prefix = "") () =
   Buffer.add_string buf "  }\n}";
   Buffer.contents buf
 
+let span_json (s : Trace.span) =
+  let args =
+    if s.Trace.args = [] then ""
+    else Printf.sprintf ", \"args\": { %s }" (args_json s.Trace.args)
+  in
+  Printf.sprintf
+    "{ \"name\": %S, \"cat\": %S, \"track\": %d, \"depth\": %d, \
+     \"start_ns\": %Ld, \"dur_ns\": %Ld, \"gc_minor_words\": %.0f, \
+     \"gc_major_words\": %.0f%s }"
+    s.Trace.name s.Trace.cat s.Trace.track s.Trace.depth s.Trace.start_ns
+    s.Trace.dur_ns s.Trace.minor_words s.Trace.major_words args
+
 let spans_json () =
   let spans = Trace.spans () in
   let buf = Buffer.create 4096 in
@@ -75,6 +87,67 @@ let spans_json () =
            (if i = List.length spans - 1 then "" else ",")))
     spans;
   Buffer.add_string buf "]";
+  Buffer.contents buf
+
+(* --- Prometheus exposition text ------------------------------------------------ *)
+
+(* The live "/metrics"-style endpoint of the resynthesis daemon serves this:
+   one exposition-format block per instrument, with registry dots mapped to
+   underscores (Prometheus metric names admit [a-zA-Z0-9_:] only).  Infos
+   render as a labeled constant-1 gauge, the convention for build/run
+   metadata. *)
+
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prom_label_value s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prometheus_text () =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      match v with
+      | Metrics.Counter c ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" n c)
+      | Metrics.Gauge g ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+        Buffer.add_string buf (Printf.sprintf "%s %s\n" n (float_json g))
+      | Metrics.Histogram h ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+        let cumulative = ref 0 in
+        List.iter
+          (fun (floor, count) ->
+            cumulative := !cumulative + count;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n floor !cumulative))
+          h.Metrics.buckets;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.Metrics.count);
+        Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" n h.Metrics.sum);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count %d\n" n h.Metrics.count)
+      | Metrics.Info s ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s_info gauge\n" n);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_info{value=\"%s\"} 1\n" n (prom_label_value s)))
+    (Metrics.dump ());
   Buffer.contents buf
 
 (* --- Chrome trace_event ------------------------------------------------------- *)

@@ -19,6 +19,16 @@ val spans_json : unit -> string
 (** Recorded spans as a JSON array (native format: track, depth, start_ns,
     dur_ns, GC words, args). *)
 
+val span_json : Trace.span -> string
+(** One span as a single-line JSON object (the element format of
+    {!spans_json}); streaming sinks emit one of these per line. *)
+
+val prometheus_text : unit -> string
+(** The registry in Prometheus exposition format (registry dots become
+    underscores; histograms render cumulative [_bucket]/[_sum]/[_count]
+    series; infos render as a labeled constant-1 gauge).  The daemon's
+    live metrics endpoint serves this. *)
+
 val chrome_json : unit -> string
 
 val write_file : string -> string -> unit

@@ -147,6 +147,55 @@ let dump () =
          (name, v))
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(* --- labeled snapshots -------------------------------------------------------------- *)
+
+(* A snapshot is just a dump; [delta] subtracts it from the current dump so
+   per-request accounting in the serving daemon never needs a global
+   [reset] (which would race with concurrent requests). *)
+type snapshot = (string * value) list
+
+let snapshot () = dump ()
+
+let sub_histogram (cur : histogram_snapshot) (old : histogram_snapshot) =
+  let old_buckets = old.buckets in
+  let bucket_delta =
+    List.filter_map
+      (fun (floor, n) ->
+        let o = try List.assoc floor old_buckets with Not_found -> 0 in
+        if n - o > 0 then Some (floor, n - o) else None)
+      cur.buckets
+  in
+  { count = cur.count - old.count;
+    sum = cur.sum - old.sum;
+    (* max is not invertible: report the current max when new samples
+       arrived, 0 otherwise *)
+    max_value = (if cur.count > old.count then cur.max_value else 0);
+    buckets = bucket_delta }
+
+let delta (snap : snapshot) =
+  let old : (string, value) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (name, v) -> Hashtbl.replace old name v) snap;
+  List.filter_map
+    (fun (name, v) ->
+      match (v, Hashtbl.find_opt old name) with
+      | Counter n, Some (Counter o) ->
+        if n <> o then Some (name, Counter (n - o)) else None
+      | Counter n, None -> if n <> 0 then Some (name, Counter n) else None
+      | Gauge g, Some (Gauge o) ->
+        if g <> o then Some (name, Gauge g) else None
+      | Gauge g, None -> if g <> 0.0 then Some (name, Gauge g) else None
+      | Histogram h, Some (Histogram o) ->
+        if h.count <> o.count then Some (name, Histogram (sub_histogram h o))
+        else None
+      | Histogram h, None ->
+        if h.count <> 0 then Some (name, Histogram h) else None
+      | Info s, Some (Info o) -> if s <> o then Some (name, Info s) else None
+      | Info s, None -> if s <> "" then Some (name, Info s) else None
+      (* an instrument re-registered with a different kind is impossible
+         ([register] raises), but stay total *)
+      | v, Some _ -> Some (name, v))
+    (dump ())
+
 let reset () =
   Mutex.lock lock;
   (* lint-waive: nondet/hashtbl-order — zeroing every instrument commutes. *)

@@ -63,3 +63,17 @@ type value =
 
 val dump : unit -> (string * value) list
 (** Every registered instrument, sorted by name. *)
+
+type snapshot
+(** A labeled point-in-time copy of the registry, for {!delta}. *)
+
+val snapshot : unit -> snapshot
+
+val delta : snapshot -> (string * value) list
+(** Instruments that changed since the snapshot, sorted by name: counters
+    and histograms are subtracted (histogram [max] is the current max when
+    new samples arrived, else 0); gauges and infos report their current
+    value when it differs.  Unchanged instruments are omitted.  This is how
+    the serving daemon accounts per-request activity without a global
+    {!reset} — note that under concurrent requests a delta covers
+    {e everything} that ran in the window, not just one request. *)

@@ -38,10 +38,57 @@ let now_ns () =
 let lock = Mutex.create ()
 let recorded : span list ref = ref []
 
+(* Completed spans can additionally stream to registered sinks (the
+   resynthesis daemon flushes them to a file or a subscribed client as
+   they finish, instead of holding the whole trace in memory).  Sinks run
+   under [sink_lock], so deliveries are serialized; a sink must never call
+   back into this module (the mutex is not reentrant). *)
+type sink = {
+  on_span : span -> unit;
+  on_flush : unit -> unit;
+}
+
+let sink_lock = Mutex.create ()
+let sinks : (int * sink) list ref = ref []
+let next_sink_id = ref 1
+
+(* [buffering] off drops the in-memory span list (sinks still fire): a
+   long-running daemon would otherwise grow the buffer without bound. *)
+let buffering = Atomic.make true
+
+let set_buffering b = Atomic.set buffering b
+let buffering_enabled () = Atomic.get buffering
+
+let add_sink sink =
+  Mutex.lock sink_lock;
+  let id = !next_sink_id in
+  next_sink_id := id + 1;
+  sinks := !sinks @ [ (id, sink) ];
+  Mutex.unlock sink_lock;
+  id
+
+let remove_sink id =
+  Mutex.lock sink_lock;
+  sinks := List.filter (fun (i, _) -> i <> id) !sinks;
+  Mutex.unlock sink_lock
+
+let flush_sinks () =
+  Mutex.lock sink_lock;
+  List.iter (fun (_, s) -> s.on_flush ()) !sinks;
+  Mutex.unlock sink_lock
+
+let deliver s =
+  Mutex.lock sink_lock;
+  List.iter (fun (_, k) -> k.on_span s) !sinks;
+  Mutex.unlock sink_lock
+
 let record s =
-  Mutex.lock lock;
-  recorded := s :: !recorded;
-  Mutex.unlock lock
+  if Atomic.get buffering then begin
+    Mutex.lock lock;
+    recorded := s :: !recorded;
+    Mutex.unlock lock
+  end;
+  deliver s
 
 let reset () =
   Mutex.lock lock;

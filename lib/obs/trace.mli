@@ -58,3 +58,34 @@ val spans : unit -> span list
 val set_clock : (unit -> int64) option -> unit
 (** Override the time source (nanoseconds); [None] restores the default
     wall clock.  For deterministic exporter tests. *)
+
+(** {1 Span streaming}
+
+    In addition to (or instead of) the in-memory buffer, completed spans
+    can stream to registered sinks as they finish.  The resynthesis daemon
+    uses this to flush spans incrementally to a file or a subscribed
+    client, so a fleet-scale run never has to hold its whole trace in
+    memory.  Sinks are invoked serially under an internal mutex, on the
+    domain that completed the span; a sink must be fast, must not raise,
+    and must never call back into this module. *)
+
+type sink = {
+  on_span : span -> unit;   (** one completed span (or instant mark) *)
+  on_flush : unit -> unit;  (** flush buffered output (shutdown, export) *)
+}
+
+val add_sink : sink -> int
+(** Register a sink; returns a token for {!remove_sink}.  Sinks only fire
+    while tracing is {!enabled}. *)
+
+val remove_sink : int -> unit
+
+val flush_sinks : unit -> unit
+(** Run every registered sink's [on_flush]. *)
+
+val set_buffering : bool -> unit
+(** [set_buffering false] stops accumulating spans in the in-memory buffer
+    ({!spans} returns only what was recorded while buffering); sinks still
+    receive every span.  Default [true]. *)
+
+val buffering_enabled : unit -> bool

@@ -1,0 +1,47 @@
+(** Minimal JSON codec for the newline-delimited daemon protocol.
+
+    Zero dependencies, by the same policy as the rest of the tree: the
+    exporters in {!Obs.Export} print JSON by hand, and this is the reader
+    side.  The printer emits compact single-line documents with object
+    fields in the order given, so responses built from the same data are
+    byte-identical — the protocol's determinism contract rests on that.
+
+    The parser is a plain recursive-descent over the byte string with a
+    nesting-depth cap, so adversarial input fails with a structured error
+    instead of a stack overflow.  Unicode escapes decode to UTF-8;
+    numbers without [.], [e] or [E] parse as [Int], everything else as
+    [Float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** [Error msg] carries a byte-offset-annotated reason.  Trailing
+    whitespace is accepted; trailing garbage is an error. *)
+
+val to_string : t -> string
+(** Compact single-line rendering; no trailing newline.  Object field
+    order is preserved. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing field or non-object. *)
+
+val to_str : t -> string option
+val to_int : t -> int option
+(** [Int] directly; integral [Float]s convert. *)
+
+val to_bool : t -> bool option
+val to_float : t -> float option
+(** [Float] or [Int]. *)
+
+val mem_str : string -> t -> string option
+val mem_int : string -> t -> int option
+val mem_bool : string -> t -> bool option
+val mem_float : string -> t -> float option
+(** [mem_* f j] = accessor composed with {!member}. *)
